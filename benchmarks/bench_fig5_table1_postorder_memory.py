@@ -1,0 +1,61 @@
+"""Figure 5 + Table I: PostOrder versus optimal memory on assembly trees.
+
+The paper reports that the best postorder is optimal on 95.8% of its
+assembly trees, with a worst-case overhead of 18% and an average of 1%
+(Table I), and plots the performance profile of the non-optimal cases
+(Figure 5).  This benchmark regenerates both artefacts on the substitute
+assembly-tree data set and times the two algorithms involved.
+"""
+
+from repro.analysis.experiments import run_minmemory_comparison
+from repro.analysis.performance_profiles import ascii_profile, format_profile_table
+from repro.analysis.statistics import format_ratio_table
+from repro.core.minmem import min_mem
+from repro.core.postorder import best_postorder
+
+
+def test_fig5_table1_postorder_vs_optimal(benchmark, assembly_instances, report):
+    """Regenerate Table I statistics and the Figure 5 profile."""
+    comparison = benchmark.pedantic(
+        run_minmemory_comparison, args=(assembly_instances,), rounds=1, iterations=1
+    )
+    stats = comparison.statistics()
+    profile = comparison.profile(non_optimal_only=True)
+    lines = [
+        f"data set: {len(assembly_instances)} assembly trees",
+        "",
+        "Table I -- statistics on the memory cost of PostOrder:",
+        format_ratio_table(stats),
+        "",
+        "Figure 5 -- performance profile on the non-optimal instances:",
+        format_profile_table(profile, taus=(1.0, 1.02, 1.05, 1.1, 1.2, 1.5)),
+        "",
+        ascii_profile(profile),
+    ]
+    report("fig5_table1_postorder_memory", "\n".join(lines))
+
+    # sanity: postorder can never beat the optimum
+    assert all(p >= o - 1e-9 for p, o in zip(comparison.postorder, comparison.optimal))
+    assert stats.mean_ratio >= 1.0
+
+
+def test_postorder_throughput(benchmark, assembly_instances):
+    """Raw speed of the PostOrder algorithm over the whole data set."""
+    trees = [instance.tree for instance in assembly_instances]
+
+    def run():
+        return [best_postorder(tree).memory for tree in trees]
+
+    memories = benchmark(run)
+    assert len(memories) == len(trees)
+
+
+def test_minmem_throughput(benchmark, assembly_instances):
+    """Raw speed of the MinMem algorithm over the whole data set."""
+    trees = [instance.tree for instance in assembly_instances]
+
+    def run():
+        return [min_mem(tree).memory for tree in trees]
+
+    memories = benchmark(run)
+    assert len(memories) == len(trees)

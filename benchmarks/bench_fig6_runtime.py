@@ -1,0 +1,61 @@
+"""Figure 6: run-time comparison of PostOrder, Liu and MinMem.
+
+The paper's Figure 6 is a performance profile of the running times of the
+three MinMemory algorithms on the assembly trees, showing MinMem fastest in
+about 80% of the cases and clearly ahead of Liu's exact algorithm.  The
+absolute times here are Python, not optimized C++, but the relative ordering
+is what the figure is about.
+"""
+
+from repro.analysis.experiments import run_runtime_comparison
+from repro.analysis.performance_profiles import ascii_profile, format_profile_table
+from repro.core.liu import liu_optimal_traversal
+from repro.core.minmem import min_mem
+from repro.core.postorder import best_postorder
+
+
+def test_fig6_runtime_profile(benchmark, assembly_instances, report):
+    """Regenerate the Figure 6 run-time performance profile."""
+    runtime = benchmark.pedantic(
+        run_runtime_comparison, args=(assembly_instances,), rounds=1, iterations=1
+    )
+    profile = runtime.profile()
+    lines = [
+        f"data set: {len(assembly_instances)} assembly trees",
+        "",
+        "Figure 6 -- run-time performance profile:",
+        format_profile_table(profile, taus=(1.0, 1.5, 2.0, 3.0, 5.0, 10.0)),
+        "",
+        ascii_profile(profile, tau_max=5.0),
+        "",
+        "total wall-clock per algorithm:",
+    ]
+    for algorithm in runtime.times:
+        lines.append(f"  {algorithm:<10}: {runtime.total_time(algorithm) * 1e3:9.1f} ms")
+    report("fig6_runtime", "\n".join(lines))
+
+    # both exact algorithms must report the same optimal memory everywhere
+    for liu_mem, minmem_mem in zip(runtime.memories["Liu"], runtime.memories["MinMem"]):
+        assert abs(liu_mem - minmem_mem) <= 1e-6 * max(1.0, liu_mem)
+
+
+def _medium_tree(assembly_instances):
+    return max((i.tree for i in assembly_instances), key=lambda t: t.size)
+
+
+def test_liu_single_tree(benchmark, assembly_instances):
+    """Liu's exact algorithm on the largest tree of the data set."""
+    tree = _medium_tree(assembly_instances)
+    benchmark(lambda: liu_optimal_traversal(tree).memory)
+
+
+def test_minmem_single_tree(benchmark, assembly_instances):
+    """MinMem on the largest tree of the data set."""
+    tree = _medium_tree(assembly_instances)
+    benchmark(lambda: min_mem(tree).memory)
+
+
+def test_postorder_single_tree(benchmark, assembly_instances):
+    """PostOrder on the largest tree of the data set."""
+    tree = _medium_tree(assembly_instances)
+    benchmark(lambda: best_postorder(tree).memory)

@@ -1,0 +1,67 @@
+"""Figure 8: I/O volume of the three traversal algorithms with First Fit.
+
+The paper reports that, for out-of-core execution, the *postorder* traversal
+behaves best, Liu's traversal comes next and MinMem's traversal is the worst
+-- the opposite ranking of the in-core memory experiment -- because the
+postorder and Liu produce long chains of dependent tasks whose files are
+consumed soon after being produced.
+"""
+
+from repro.analysis.experiments import run_traversal_io
+from repro.analysis.performance_profiles import ascii_profile, format_profile_table
+
+
+def test_fig8_traversal_io_profile(benchmark, assembly_instances, report):
+    """Regenerate the Figure 8 performance profile."""
+    comparison = benchmark.pedantic(
+        run_traversal_io,
+        args=(assembly_instances,),
+        kwargs={"memory_fractions": (0.0, 0.25, 0.5, 0.75), "heuristic": "first_fit"},
+        rounds=1,
+        iterations=1,
+    )
+    profile = comparison.profile()
+    lines = [
+        f"cases: {len(comparison.cases)} (tree x memory combinations), "
+        "eviction policy: First Fit",
+        "",
+        "Figure 8 -- I/O volume performance profile of the traversal algorithms:",
+        format_profile_table(profile, taus=(1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 5.0)),
+        "",
+        ascii_profile(profile, tau_max=3.0),
+        "",
+        "total I/O volume per traversal algorithm (lower is better):",
+    ]
+    for method in comparison.io_volumes:
+        lines.append(f"  {method:<22}: {comparison.total_io(method):14.0f}")
+    report("fig8_traversal_io", "\n".join(lines))
+
+    assert len(comparison.io_volumes) == 3
+    assert all(len(v) == len(comparison.cases) for v in comparison.io_volumes.values())
+
+
+def test_fig8_traversal_io_random_trees(benchmark, random_instances, report):
+    """Same experiment on the random-weight trees, where the traversals
+    actually differ (on the scaled-down assembly trees all three algorithms
+    often produce postorders with the same forced evictions)."""
+    comparison = benchmark.pedantic(
+        run_traversal_io,
+        args=(random_instances,),
+        kwargs={"memory_fractions": (0.0, 0.25, 0.5, 0.75), "heuristic": "first_fit"},
+        rounds=1,
+        iterations=1,
+    )
+    profile = comparison.profile()
+    lines = [
+        f"cases: {len(comparison.cases)} (random-weight tree x memory combinations), "
+        "eviction policy: First Fit",
+        "",
+        "Figure 8 (random-weight trees) -- I/O volume performance profile:",
+        format_profile_table(profile, taus=(1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 5.0)),
+        "",
+        "total I/O volume per traversal algorithm (lower is better):",
+    ]
+    for method in comparison.io_volumes:
+        lines.append(f"  {method:<22}: {comparison.total_io(method):14.0f}")
+    report("fig8_traversal_io_random", "\n".join(lines))
+    assert len(comparison.io_volumes) == 3

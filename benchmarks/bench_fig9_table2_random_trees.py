@@ -1,0 +1,55 @@
+"""Figure 9 + Table II: PostOrder versus optimal memory on random trees.
+
+Keeping the assembly-tree shapes but redrawing the weights at random
+(Section VI-E) makes the best postorder suboptimal on most instances (61% in
+the paper, with ratios up to 2.22), showing that an optimal algorithm is
+mandatory on general trees when memory is scarce.
+"""
+
+from repro.analysis.experiments import run_minmemory_comparison
+from repro.analysis.performance_profiles import ascii_profile, format_profile_table
+from repro.analysis.statistics import format_ratio_table
+
+
+def test_fig9_table2_random_trees(benchmark, random_instances, report):
+    """Regenerate Table II statistics and the Figure 9 profile."""
+    comparison = benchmark.pedantic(
+        run_minmemory_comparison, args=(random_instances,), rounds=1, iterations=1
+    )
+    stats = comparison.statistics()
+    profile = comparison.profile(non_optimal_only=True)
+    lines = [
+        f"data set: {len(random_instances)} randomly reweighted trees",
+        "",
+        "Table II -- statistics on the memory cost of PostOrder (random trees):",
+        format_ratio_table(stats),
+        "",
+        "Figure 9 -- performance profile on the non-optimal instances:",
+        format_profile_table(profile, taus=(1.0, 1.05, 1.1, 1.25, 1.5, 2.0)),
+        "",
+        ascii_profile(profile),
+    ]
+    report("fig9_table2_random_trees", "\n".join(lines))
+
+    assert all(p >= o - 1e-9 for p, o in zip(comparison.postorder, comparison.optimal))
+
+
+def test_random_trees_harder_than_assembly(assembly_instances, random_instances, report):
+    """The paper's qualitative finding: PostOrder is non-optimal far more
+    often on random trees than on assembly trees."""
+    assembly_stats = run_minmemory_comparison(assembly_instances).statistics()
+    random_stats = run_minmemory_comparison(random_instances).statistics()
+    report(
+        "fig9_assembly_vs_random",
+        "\n".join(
+            [
+                "fraction of instances where PostOrder is NOT optimal:",
+                f"  assembly trees : {assembly_stats.non_optimal_fraction * 100:6.1f}%",
+                f"  random trees   : {random_stats.non_optimal_fraction * 100:6.1f}%",
+                "maximum PostOrder/optimal ratio:",
+                f"  assembly trees : {assembly_stats.max_ratio:6.2f}",
+                f"  random trees   : {random_stats.max_ratio:6.2f}",
+            ]
+        ),
+    )
+    assert random_stats.non_optimal_fraction >= assembly_stats.non_optimal_fraction

@@ -1,0 +1,82 @@
+"""Extension benchmark: traversal choice inside a real multifrontal solve.
+
+The paper's model abstracts the multifrontal method as a task tree; this
+benchmark closes the loop by running the actual numeric multifrontal Cholesky
+engine under (a) the best postorder traversal and (b) the optimal traversal of
+the column task tree, and reporting the measured peak memory (frontal matrix
+plus resident contribution blocks) for several matrices and orderings.
+"""
+
+import numpy as np
+
+from repro.core.liu import liu_optimal_traversal
+from repro.core.postorder import best_postorder
+from repro.sparse.matrices import banded_spd, grid_laplacian_2d, random_spd
+from repro.sparse.multifrontal import frontal_memory_tree, multifrontal_cholesky
+from repro.sparse.ordering import apply_ordering, minimum_degree_ordering, rcm_ordering
+
+MATRICES = {
+    "grid2d-12": lambda: grid_laplacian_2d(12),
+    "grid2d-12/md": lambda: _ordered(grid_laplacian_2d(12), minimum_degree_ordering),
+    "banded-200/rcm": lambda: _ordered(banded_spd(200, 4, seed=3), rcm_ordering),
+    "random-120/md": lambda: _ordered(random_spd(120, 0.05, seed=7), minimum_degree_ordering),
+}
+
+
+def _ordered(matrix, ordering):
+    return apply_ordering(matrix, ordering(matrix))
+
+
+def _evaluate():
+    rows = []
+    for name, factory in MATRICES.items():
+        matrix = factory()
+        tree = frontal_memory_tree(matrix)
+        postorder = best_postorder(tree)
+        optimal = liu_optimal_traversal(tree)
+        engine_post = multifrontal_cholesky(matrix, postorder.traversal)
+        engine_opt = multifrontal_cholesky(matrix, optimal.traversal)
+        residual = float(
+            np.abs((engine_opt.factor @ engine_opt.factor.T - matrix)).max()
+        )
+        rows.append(
+            (
+                name,
+                matrix.shape[0],
+                engine_post.peak_memory,
+                engine_opt.peak_memory,
+                postorder.memory,
+                optimal.memory,
+                residual,
+            )
+        )
+    return rows
+
+
+def test_multifrontal_traversal_memory(benchmark, report):
+    """Peak engine memory under postorder vs optimal traversals."""
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    lines = [
+        "peak memory of the numeric multifrontal engine (matrix entries)",
+        f"{'matrix':<18}{'n':>6}{'engine PO':>12}{'engine OPT':>12}"
+        f"{'model PO':>10}{'model OPT':>11}{'|LL^T-A|':>12}",
+    ]
+    for name, n, engine_po, engine_opt, model_po, model_opt, residual in rows:
+        lines.append(
+            f"{name:<18}{n:>6}{engine_po:>12.0f}{engine_opt:>12.0f}"
+            f"{model_po:>10.0f}{model_opt:>11.0f}{residual:>12.2e}"
+        )
+    report("multifrontal_memory", "\n".join(lines))
+
+    for _, _, engine_po, engine_opt, model_po, model_opt, residual in rows:
+        # the engine agrees with the task-tree model on both traversals
+        assert abs(engine_po - model_po) <= 1e-6 * max(1.0, model_po)
+        assert abs(engine_opt - model_opt) <= 1e-6 * max(1.0, model_opt)
+        assert engine_opt <= engine_po + 1e-9
+        assert residual < 1e-8
+
+
+def test_multifrontal_factorization_speed(benchmark):
+    """Raw factorization speed on the 12x12 grid (postorder traversal)."""
+    matrix = grid_laplacian_2d(12)
+    benchmark(lambda: multifrontal_cholesky(matrix).peak_memory)

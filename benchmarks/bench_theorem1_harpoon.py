@@ -1,0 +1,52 @@
+"""Theorem 1 ablation: the iterated-harpoon worst case for postorders.
+
+Not a figure of the paper's evaluation section, but the constructive lower
+bound behind its Theorem 1: the benchmark measures how the postorder/optimal
+memory ratio grows with the nesting level and checks it against the
+closed-form bounds of the proof.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_harpoon_ablation
+from repro.core.minmem import min_mem
+from repro.core.postorder import best_postorder
+from repro.generators.harpoon import iterated_harpoon_tree
+
+
+def test_theorem1_ratio_growth(benchmark, report):
+    """Measure the PostOrder/optimal ratio for increasing nesting levels."""
+    ablation = benchmark.pedantic(
+        run_harpoon_ablation,
+        kwargs={"branches": 4, "levels": (1, 2, 3, 4, 5), "epsilon": 0.001},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "iterated harpoon, b = 4, epsilon = 0.001",
+        f"{'levels':>7}{'PostOrder':>12}{'predicted':>12}{'Optimal':>10}{'predicted':>12}{'ratio':>8}",
+    ]
+    for i, level in enumerate(ablation.levels):
+        lines.append(
+            f"{level:>7}{ablation.postorder[i]:>12.4f}{ablation.predicted_postorder[i]:>12.4f}"
+            f"{ablation.optimal[i]:>10.4f}{ablation.predicted_optimal[i]:>12.4f}"
+            f"{ablation.postorder[i] / ablation.optimal[i]:>8.2f}"
+        )
+    report("theorem1_harpoon", "\n".join(lines))
+
+    ratios = ablation.ratios()
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    for measured, predicted in zip(ablation.postorder, ablation.predicted_postorder):
+        assert measured == pytest.approx(predicted)
+
+
+def test_harpoon_postorder_speed(benchmark):
+    """PostOrder on a large iterated harpoon (worst-case shape for it)."""
+    tree = iterated_harpoon_tree(4, 5, memory=1.0, epsilon=0.001)
+    benchmark(lambda: best_postorder(tree).memory)
+
+
+def test_harpoon_minmem_speed(benchmark):
+    """MinMem on a large iterated harpoon."""
+    tree = iterated_harpoon_tree(4, 5, memory=1.0, epsilon=0.001)
+    benchmark(lambda: min_mem(tree).memory)

@@ -1,0 +1,66 @@
+"""Theorem 2 ablation: MinIO hardness instances (2-Partition harpoons).
+
+The NP-completeness reduction of Theorem 2 encodes a 2-Partition instance in
+a harpoon so that an I/O volume of ``S/2`` is achievable iff the instance is
+solvable.  The benchmark compares the greedy heuristics against the exact
+(exponential) optimum on a family of such instances, measuring how close the
+heuristics get to the hardness threshold.
+"""
+
+import itertools
+
+from repro.core.bruteforce import optimal_min_io
+from repro.core.minio import HEURISTICS, run_out_of_core
+from repro.core.minmem import min_mem
+from repro.generators.harpoon import two_partition_harpoon
+
+INSTANCES = {
+    "balanced-4": [1, 1, 2, 2],
+    "balanced-5": [3, 1, 1, 2, 1],
+    "unbalanced-3": [1, 1, 1],
+    "powers-4": [1, 2, 4, 8],
+    "mixed-5": [2, 3, 5, 4, 6],
+}
+
+
+def _evaluate():
+    rows = []
+    for name, values in INSTANCES.items():
+        tree = two_partition_harpoon(values)
+        total = sum(values)
+        memory = 2.0 * total
+        optimal = optimal_min_io(tree, memory)
+        traversal = min_mem(tree).traversal
+        heuristic_io = {
+            heuristic: run_out_of_core(tree, memory, traversal, heuristic).io_volume
+            for heuristic in HEURISTICS
+        }
+        rows.append((name, total, optimal, heuristic_io))
+    return rows
+
+
+def test_theorem2_heuristics_vs_exact(benchmark, report):
+    """Exact MinIO versus the greedy heuristics on 2-Partition harpoons."""
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    lines = [
+        "2-Partition harpoons, M = 2S (the root requirement); S/2 is the hardness threshold",
+        f"{'instance':<14}{'S':>5}{'exact':>8}" + "".join(f"{h:>18}" for h in HEURISTICS),
+    ]
+    for name, total, optimal, heuristic_io in rows:
+        line = f"{name:<14}{total:>5.0f}{optimal:>8.1f}"
+        for heuristic in HEURISTICS:
+            line += f"{heuristic_io[heuristic]:>18.1f}"
+        lines.append(line)
+    report("theorem2_minio_hardness", "\n".join(lines))
+
+    for _, total, optimal, heuristic_io in rows:
+        # the exact optimum respects the reduction's threshold
+        assert optimal >= total / 2 - 1e-9
+        # heuristics are upper bounds on the optimum
+        assert all(io >= optimal - 1e-9 for io in heuristic_io.values())
+
+
+def test_exact_minio_cost(benchmark):
+    """Cost of the exponential exact solver on a 5-value instance."""
+    tree = two_partition_harpoon([2, 3, 5, 4, 6])
+    benchmark(lambda: optimal_min_io(tree, 2.0 * 20))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Out-of-core factorization planning.
+
+When the assembly tree does not fit in the available main memory, some
+contribution blocks must be written to disk.  This example sweeps the main
+memory from the bare minimum (``max MemReq``) to the in-core optimum and
+reports the I/O volume of every eviction heuristic of the paper, together
+with the two lower bounds, for each of the three traversal algorithms.
+
+Run with::
+
+    python examples/out_of_core_planning.py [grid_size]
+"""
+
+import sys
+
+from repro.analysis.experiments import traversal_for
+from repro.core.minio import (
+    HEURISTICS,
+    divisible_lower_bound,
+    memory_deficit_lower_bound,
+    run_out_of_core,
+)
+from repro.sparse import build_assembly_tree, grid_laplacian_2d
+
+
+def main(grid: int = 16) -> None:
+    matrix = grid_laplacian_2d(grid)
+    tree = build_assembly_tree(matrix, ordering="nested_dissection", relaxed=4).tree
+    lower = tree.max_mem_req()
+    optimal_memory, _ = traversal_for(tree, "MinMem")
+    print(
+        f"assembly tree: {tree.size} supernodes, max MemReq = {lower:.0f}, "
+        f"in-core optimum = {optimal_memory:.0f}"
+    )
+
+    fractions = (0.0, 0.25, 0.5, 0.75)
+    for algorithm in ("PostOrder", "Liu", "MinMem"):
+        peak, traversal = traversal_for(tree, algorithm)
+        print(f"\n=== traversal: {algorithm} (in-core peak {peak:.0f}) ===")
+        header = f"{'memory':>10}{'deficit LB':>12}{'divisible LB':>14}" + "".join(
+            f"{name:>16}" for name in HEURISTICS
+        )
+        print(header)
+        for frac in fractions:
+            memory = lower + frac * (optimal_memory - lower)
+            row = f"{memory:>10.0f}"
+            row += f"{memory_deficit_lower_bound(tree, memory):>12.0f}"
+            row += f"{divisible_lower_bound(tree, memory, traversal):>14.0f}"
+            for name in HEURISTICS:
+                io = run_out_of_core(tree, memory, traversal, name).io_volume
+                row += f"{io:>16.0f}"
+            print(row)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small task tree and compare the three MinMemory
+algorithms plus an out-of-core schedule.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Tree,
+    best_postorder,
+    check_in_core,
+    liu_optimal_traversal,
+    min_mem,
+    peak_memory,
+    run_out_of_core,
+)
+
+
+def build_tree() -> Tree:
+    """A hand-made assembly-like tree (file sizes in megabytes)."""
+    tree = Tree()
+    tree.add_node("root", f=0.0, n=10.0)
+    tree.add_node("left", parent="root", f=16.0, n=20.0)
+    tree.add_node("right", parent="root", f=9.0, n=12.0)
+    tree.add_node("left.a", parent="left", f=9.0, n=8.0)
+    tree.add_node("left.b", parent="left", f=4.0, n=6.0)
+    tree.add_node("right.a", parent="right", f=4.0, n=5.0)
+    tree.add_node("right.b", parent="right", f=1.0, n=2.0)
+    tree.add_node("left.a.x", parent="left.a", f=4.0, n=3.0)
+    tree.add_node("left.a.y", parent="left.a", f=1.0, n=1.0)
+    return tree
+
+
+def main() -> None:
+    tree = build_tree()
+    print(f"tree with {tree.size} tasks, max MemReq = {tree.max_mem_req():.0f} MB")
+
+    # 1. the best postorder traversal (what MUMPS-style solvers do)
+    postorder = best_postorder(tree)
+    print(f"\nPostOrder  : {postorder.memory:.0f} MB")
+    print(f"  order    : {' -> '.join(map(str, postorder.traversal.order))}")
+
+    # 2. Liu's exact algorithm (optimal over all traversals)
+    liu = liu_optimal_traversal(tree)
+    print(f"Liu        : {liu.memory:.0f} MB")
+
+    # 3. the paper's MinMem algorithm (same optimum, different search)
+    minmem = min_mem(tree)
+    print(f"MinMem     : {minmem.memory:.0f} MB")
+    print(f"  order    : {' -> '.join(map(str, minmem.traversal.order))}")
+
+    assert liu.memory == minmem.memory <= postorder.memory
+    assert check_in_core(tree, minmem.memory, minmem.traversal)
+    assert peak_memory(tree, minmem.traversal) == minmem.memory
+
+    # 4. out-of-core execution when only max MemReq is available
+    memory = tree.max_mem_req()
+    print(f"\nout-of-core execution with M = {memory:.0f} MB:")
+    for heuristic in ("first_fit", "lsnf", "best_k_combination"):
+        out = run_out_of_core(tree, memory, minmem.traversal, heuristic)
+        print(
+            f"  {heuristic:<18}: {out.io_volume:6.1f} MB written "
+            f"({out.io_operations} files)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Theorem 1 in action: postorder traversals can be arbitrarily bad.
+
+Builds the iterated harpoon family of the paper and shows that the
+postorder/optimal memory ratio grows linearly with the nesting level, exactly
+matching the closed-form bounds of the proof.
+
+Run with::
+
+    python examples/worst_case_postorder.py
+"""
+
+from repro.core import best_postorder, min_mem
+from repro.generators.harpoon import (
+    iterated_harpoon_tree,
+    optimal_memory_bound,
+    postorder_memory_bound,
+)
+
+
+def main(branches: int = 4, epsilon: float = 0.001) -> None:
+    print(f"iterated harpoon, b = {branches} branches, epsilon = {epsilon}")
+    header = (
+        f"{'levels':>7}{'nodes':>8}{'PostOrder':>12}{'predicted':>12}"
+        f"{'Optimal':>10}{'predicted':>12}{'ratio':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for levels in (1, 2, 3, 4, 5, 6):
+        tree = iterated_harpoon_tree(branches, levels, memory=1.0, epsilon=epsilon)
+        postorder = best_postorder(tree).memory
+        optimal = min_mem(tree).memory
+        print(
+            f"{levels:>7}{tree.size:>8}{postorder:>12.4f}"
+            f"{postorder_memory_bound(branches, levels, 1.0, epsilon):>12.4f}"
+            f"{optimal:>10.4f}"
+            f"{optimal_memory_bound(branches, levels, 1.0, epsilon):>12.4f}"
+            f"{postorder / optimal:>8.2f}"
+        )
+    print(
+        "\nThe ratio grows without bound with the nesting level: for any K there"
+        "\nis a tree on which the best postorder needs K times the optimal memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` keeps working on offline machines whose setuptools
+predates the bundled ``bdist_wheel`` command (the legacy ``setup.py develop``
+code path does not need the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

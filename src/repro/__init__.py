@@ -1,0 +1,117 @@
+"""repro -- memory-optimal tree traversals for sparse matrix factorization.
+
+A from-scratch reproduction of *"On optimal tree traversals for sparse matrix
+factorization"* (Jacquelin, Marchal, Robert, Uçar; IPPS 2011).
+
+The library is organised in four layers:
+
+``repro.core``
+    Task-tree model, traversal checkers, the three MinMemory algorithms
+    (``PostOrder``, ``Liu``, ``MinMem``), the MinIO out-of-core scheduler with
+    its six eviction heuristics, exhaustive oracles and pebble-game special
+    cases.
+``repro.sparse``
+    The sparse-matrix substrate that produces the assembly trees the paper
+    evaluates on: matrix generators, fill-reducing orderings, elimination
+    trees, symbolic factorization, supernode amalgamation and a multifrontal
+    Cholesky engine.
+``repro.generators``
+    Synthetic tree families: harpoon graphs (Theorems 1 and 2), random-weight
+    trees (Section VI-E), and parametric shapes.
+``repro.analysis``
+    Dolan--Moré performance profiles, statistics tables, dataset builders and
+    the experiment drivers that regenerate every table and figure of the
+    paper.
+
+Quickstart::
+
+    from repro import Tree, best_postorder, liu_optimal_traversal, min_mem
+
+    t = Tree()
+    t.add_node(0, f=0.0, n=1.0)
+    t.add_node(1, parent=0, f=4.0, n=2.0)
+    t.add_node(2, parent=0, f=3.0, n=1.0)
+
+    print(best_postorder(t).memory)        # best postorder traversal
+    print(liu_optimal_traversal(t).memory) # Liu's exact algorithm
+    print(min_mem(t).memory)               # the paper's MinMem algorithm
+"""
+
+from .core import (
+    BOTTOMUP,
+    TOPDOWN,
+    ExploreResult,
+    ExploreSolver,
+    LiuResult,
+    MemoryProfile,
+    MinMemResult,
+    OutOfCoreSchedule,
+    PostOrderResult,
+    Traversal,
+    TraversalError,
+    Tree,
+    TreeValidationError,
+    best_postorder,
+    chain_tree,
+    check_in_core,
+    check_out_of_core,
+    from_edges,
+    from_liu_model,
+    from_networkx,
+    from_parent_list,
+    from_replacement_model,
+    is_postorder,
+    is_topological,
+    liu_min_memory,
+    liu_optimal_traversal,
+    memory_profile,
+    min_mem,
+    min_memory,
+    peak_memory,
+    postorder_with_rule,
+    star_tree,
+    uniform_weights,
+)
+from .core.minio import HEURISTICS, io_volume, run_out_of_core
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Tree",
+    "TreeValidationError",
+    "Traversal",
+    "TraversalError",
+    "OutOfCoreSchedule",
+    "MemoryProfile",
+    "TOPDOWN",
+    "BOTTOMUP",
+    "ExploreSolver",
+    "ExploreResult",
+    "LiuResult",
+    "MinMemResult",
+    "PostOrderResult",
+    "best_postorder",
+    "postorder_with_rule",
+    "liu_optimal_traversal",
+    "liu_min_memory",
+    "min_mem",
+    "min_memory",
+    "memory_profile",
+    "peak_memory",
+    "check_in_core",
+    "check_out_of_core",
+    "is_topological",
+    "is_postorder",
+    "from_parent_list",
+    "from_edges",
+    "from_networkx",
+    "from_replacement_model",
+    "from_liu_model",
+    "chain_tree",
+    "star_tree",
+    "uniform_weights",
+    "HEURISTICS",
+    "run_out_of_core",
+    "io_volume",
+]

@@ -1,0 +1,55 @@
+"""Evaluation methodology: performance profiles, statistics, data sets, drivers."""
+
+from .datasets import (
+    SCALES,
+    TreeInstance,
+    assembly_tree_dataset,
+    matrix_suite,
+    random_tree_dataset,
+)
+from .experiments import (
+    MINMEMORY_ALGORITHMS,
+    HarpoonAblation,
+    MinIOComparison,
+    MinMemoryComparison,
+    RuntimeComparison,
+    run_harpoon_ablation,
+    run_minio_heuristics,
+    run_minmemory_comparison,
+    run_runtime_comparison,
+    run_traversal_io,
+    traversal_for,
+)
+from .performance_profiles import (
+    PerformanceProfile,
+    ascii_profile,
+    format_profile_table,
+    performance_profile,
+)
+from .statistics import RatioStatistics, format_ratio_table, ratio_statistics
+
+__all__ = [
+    "SCALES",
+    "TreeInstance",
+    "matrix_suite",
+    "assembly_tree_dataset",
+    "random_tree_dataset",
+    "MINMEMORY_ALGORITHMS",
+    "traversal_for",
+    "MinMemoryComparison",
+    "run_minmemory_comparison",
+    "RuntimeComparison",
+    "run_runtime_comparison",
+    "MinIOComparison",
+    "run_minio_heuristics",
+    "run_traversal_io",
+    "HarpoonAblation",
+    "run_harpoon_ablation",
+    "PerformanceProfile",
+    "performance_profile",
+    "format_profile_table",
+    "ascii_profile",
+    "RatioStatistics",
+    "ratio_statistics",
+    "format_ratio_table",
+]

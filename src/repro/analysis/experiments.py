@@ -1,0 +1,307 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every driver consumes a list of :class:`~repro.analysis.datasets.TreeInstance`
+and returns a small result object holding the per-instance raw data plus
+helpers to produce the paper's artefacts:
+
+* :func:`run_minmemory_comparison` -- PostOrder versus optimal memory
+  (Figure 5 + Table I on assembly trees, Figure 9 + Table II on random trees);
+* :func:`run_runtime_comparison`   -- run times of PostOrder, Liu and MinMem
+  (Figure 6);
+* :func:`run_minio_heuristics`     -- I/O volume of the six eviction
+  heuristics on the traversals of one algorithm (Figure 7);
+* :func:`run_traversal_io`         -- I/O volume of the three traversal
+  algorithms combined with one heuristic (Figure 8);
+* :func:`run_harpoon_ablation`     -- the Theorem 1 worst-case family.
+
+The drivers are deliberately free of any printing; the benchmark harness and
+the CLI format their outputs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.liu import liu_optimal_traversal
+from ..core.minio import HEURISTICS, run_out_of_core
+from ..core.minmem import min_mem
+from ..core.postorder import best_postorder
+from ..core.traversal import Traversal
+from ..core.tree import Tree
+from ..generators.harpoon import (
+    iterated_harpoon_tree,
+    optimal_memory_bound,
+    postorder_memory_bound,
+)
+from .datasets import TreeInstance
+from .performance_profiles import PerformanceProfile, performance_profile
+from .statistics import RatioStatistics, ratio_statistics
+
+__all__ = [
+    "MINMEMORY_ALGORITHMS",
+    "traversal_for",
+    "MinMemoryComparison",
+    "run_minmemory_comparison",
+    "RuntimeComparison",
+    "run_runtime_comparison",
+    "MinIOComparison",
+    "run_minio_heuristics",
+    "run_traversal_io",
+    "HarpoonAblation",
+    "run_harpoon_ablation",
+]
+
+
+def _postorder_solver(tree: Tree) -> Tuple[float, Traversal]:
+    result = best_postorder(tree)
+    return result.memory, result.traversal
+
+
+def _liu_solver(tree: Tree) -> Tuple[float, Traversal]:
+    result = liu_optimal_traversal(tree)
+    return result.memory, result.traversal
+
+
+def _minmem_solver(tree: Tree) -> Tuple[float, Traversal]:
+    result = min_mem(tree)
+    return result.memory, result.traversal
+
+
+#: name -> callable returning (memory, traversal) for each MinMemory algorithm
+MINMEMORY_ALGORITHMS: Dict[str, Callable[[Tree], Tuple[float, Traversal]]] = {
+    "PostOrder": _postorder_solver,
+    "Liu": _liu_solver,
+    "MinMem": _minmem_solver,
+}
+
+
+def traversal_for(tree: Tree, algorithm: str) -> Tuple[float, Traversal]:
+    """Memory and traversal computed by one of the MinMemory algorithms."""
+    try:
+        solver = MINMEMORY_ALGORITHMS[algorithm]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(MINMEMORY_ALGORITHMS)}"
+        ) from exc
+    return solver(tree)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 / Table I / Figure 9 / Table II
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MinMemoryComparison:
+    """PostOrder versus optimal memory on a set of trees."""
+
+    names: Tuple[str, ...]
+    postorder: Tuple[float, ...]
+    optimal: Tuple[float, ...]
+
+    def statistics(self) -> RatioStatistics:
+        """Table I / Table II statistics."""
+        return ratio_statistics(self.postorder, self.optimal)
+
+    def profile(self, non_optimal_only: bool = True) -> PerformanceProfile:
+        """Figure 5 / Figure 9 performance profile.
+
+        The paper's Figure 5 only plots the instances where PostOrder is not
+        optimal; set ``non_optimal_only=False`` to keep every instance.
+        """
+        post, opt = list(self.postorder), list(self.optimal)
+        if non_optimal_only:
+            keep = [i for i, (p, o) in enumerate(zip(post, opt)) if p > o * (1 + 1e-9)]
+            if keep:
+                post = [post[i] for i in keep]
+                opt = [opt[i] for i in keep]
+        return performance_profile({"Optimal": opt, "PostOrder": post})
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Raw per-instance rows (name, postorder, optimal, ratio)."""
+        return [
+            {
+                "instance": name,
+                "postorder": post,
+                "optimal": opt,
+                "ratio": post / opt if opt else 1.0,
+            }
+            for name, post, opt in zip(self.names, self.postorder, self.optimal)
+        ]
+
+
+def run_minmemory_comparison(instances: Sequence[TreeInstance]) -> MinMemoryComparison:
+    """Compute PostOrder and optimal (MinMem) memory for every instance."""
+    names, postorder, optimal = [], [], []
+    for instance in instances:
+        names.append(instance.name)
+        postorder.append(best_postorder(instance.tree).memory)
+        optimal.append(min_mem(instance.tree).memory)
+    return MinMemoryComparison(tuple(names), tuple(postorder), tuple(optimal))
+
+
+# ----------------------------------------------------------------------
+# Figure 6 -- run times
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuntimeComparison:
+    """Wall-clock run times of the MinMemory algorithms."""
+
+    names: Tuple[str, ...]
+    times: Dict[str, Tuple[float, ...]]
+    memories: Dict[str, Tuple[float, ...]]
+
+    def profile(self) -> PerformanceProfile:
+        """Figure 6 performance profile (run-time ratios)."""
+        return performance_profile({alg: list(vals) for alg, vals in self.times.items()})
+
+    def total_time(self, algorithm: str) -> float:
+        """Total wall-clock time of one algorithm over the data set."""
+        return sum(self.times[algorithm])
+
+
+def run_runtime_comparison(
+    instances: Sequence[TreeInstance],
+    algorithms: Sequence[str] = ("PostOrder", "Liu", "MinMem"),
+    repeats: int = 1,
+) -> RuntimeComparison:
+    """Time every MinMemory algorithm on every instance (best of ``repeats``)."""
+    names = tuple(instance.name for instance in instances)
+    times: Dict[str, List[float]] = {alg: [] for alg in algorithms}
+    memories: Dict[str, List[float]] = {alg: [] for alg in algorithms}
+    for instance in instances:
+        for alg in algorithms:
+            solver = MINMEMORY_ALGORITHMS[alg]
+            best_time = float("inf")
+            memory = float("nan")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                memory, _traversal = solver(instance.tree)
+                best_time = min(best_time, time.perf_counter() - start)
+            times[alg].append(best_time)
+            memories[alg].append(memory)
+    return RuntimeComparison(
+        names=names,
+        times={alg: tuple(vals) for alg, vals in times.items()},
+        memories={alg: tuple(vals) for alg, vals in memories.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7 and 8 -- MinIO experiments
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MinIOComparison:
+    """I/O volumes of several methods over (tree, memory) cases."""
+
+    cases: Tuple[str, ...]
+    io_volumes: Dict[str, Tuple[float, ...]]
+
+    def profile(self) -> PerformanceProfile:
+        return performance_profile({m: list(v) for m, v in self.io_volumes.items()})
+
+    def total_io(self, method: str) -> float:
+        return sum(self.io_volumes[method])
+
+
+def _memory_grid(tree: Tree, peak: float, fractions: Sequence[float]) -> List[float]:
+    """Memory values between ``max MemReq`` and ``peak`` (the paper's sweep)."""
+    lower = tree.max_mem_req()
+    upper = max(peak, lower)
+    return [lower + frac * (upper - lower) for frac in fractions]
+
+
+def run_minio_heuristics(
+    instances: Sequence[TreeInstance],
+    *,
+    traversal_algorithm: str = "MinMem",
+    heuristics: Sequence[str] = tuple(HEURISTICS),
+    memory_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+) -> MinIOComparison:
+    """Figure 7: compare the eviction heuristics on one algorithm's traversals.
+
+    For every tree, the traversal of ``traversal_algorithm`` is computed once
+    and replayed with every heuristic for several main-memory sizes between
+    ``max MemReq`` and the traversal's in-core peak.
+    """
+    cases: List[str] = []
+    io: Dict[str, List[float]] = {h: [] for h in heuristics}
+    for instance in instances:
+        peak, traversal = traversal_for(instance.tree, traversal_algorithm)
+        for memory in _memory_grid(instance.tree, peak, memory_fractions):
+            cases.append(f"{instance.name}@M={memory:.6g}")
+            for heuristic in heuristics:
+                result = run_out_of_core(instance.tree, memory, traversal, heuristic)
+                io[heuristic].append(result.io_volume)
+    return MinIOComparison(
+        cases=tuple(cases), io_volumes={h: tuple(v) for h, v in io.items()}
+    )
+
+
+def run_traversal_io(
+    instances: Sequence[TreeInstance],
+    *,
+    algorithms: Sequence[str] = ("PostOrder", "Liu", "MinMem"),
+    heuristic: str = "first_fit",
+    memory_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+) -> MinIOComparison:
+    """Figure 8: compare traversal algorithms under a fixed eviction policy.
+
+    The memory sweep of every tree is shared by all algorithms (from
+    ``max MemReq`` to the *optimal* in-core memory), so the comparison is
+    fair even though the traversals have different in-core peaks.
+    """
+    cases: List[str] = []
+    io: Dict[str, List[float]] = {f"{alg} + {heuristic}": [] for alg in algorithms}
+    for instance in instances:
+        traversals = {alg: traversal_for(instance.tree, alg) for alg in algorithms}
+        optimal_peak = min(peak for peak, _ in traversals.values())
+        for memory in _memory_grid(instance.tree, optimal_peak, memory_fractions):
+            cases.append(f"{instance.name}@M={memory:.6g}")
+            for alg in algorithms:
+                _, traversal = traversals[alg]
+                result = run_out_of_core(instance.tree, memory, traversal, heuristic)
+                io[f"{alg} + {heuristic}"].append(result.io_volume)
+    return MinIOComparison(
+        cases=tuple(cases), io_volumes={m: tuple(v) for m, v in io.items()}
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 ablation -- iterated harpoons
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HarpoonAblation:
+    """Postorder/optimal memory ratios on the iterated-harpoon family."""
+
+    levels: Tuple[int, ...]
+    postorder: Tuple[float, ...]
+    optimal: Tuple[float, ...]
+    predicted_postorder: Tuple[float, ...]
+    predicted_optimal: Tuple[float, ...]
+
+    def ratios(self) -> Tuple[float, ...]:
+        return tuple(p / o for p, o in zip(self.postorder, self.optimal))
+
+
+def run_harpoon_ablation(
+    branches: int = 4,
+    levels: Sequence[int] = (1, 2, 3, 4, 5),
+    memory: float = 1.0,
+    epsilon: float = 0.01,
+) -> HarpoonAblation:
+    """Measure how the PostOrder/optimal ratio grows with the nesting level."""
+    post, opt, pred_post, pred_opt = [], [], [], []
+    for level in levels:
+        tree = iterated_harpoon_tree(branches, level, memory=memory, epsilon=epsilon)
+        post.append(best_postorder(tree).memory)
+        opt.append(min_mem(tree).memory)
+        pred_post.append(postorder_memory_bound(branches, level, memory, epsilon))
+        pred_opt.append(optimal_memory_bound(branches, level, memory, epsilon))
+    return HarpoonAblation(
+        levels=tuple(levels),
+        postorder=tuple(post),
+        optimal=tuple(opt),
+        predicted_postorder=tuple(pred_post),
+        predicted_optimal=tuple(pred_opt),
+    )

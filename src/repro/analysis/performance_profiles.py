@@ -1,0 +1,191 @@
+"""Performance profiles (Dolan & Moré, 2002).
+
+The paper evaluates every algorithm and heuristic with performance profiles:
+for each instance the metric of a method is divided by the best metric
+achieved by any method on that instance, and the profile of a method is the
+cumulative distribution of those ratios -- ``rho_m(tau)`` is the fraction of
+instances on which method ``m`` is within a factor ``tau`` of the best.
+Higher curves are better; ``rho_m(1)`` is the fraction of instances where the
+method is (one of) the best.
+
+The profiles are returned as plain data (methods, evaluation points, curves)
+so they can be printed as CSV, rendered as ASCII plots in a terminal, or fed
+to any plotting library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PerformanceProfile", "performance_profile", "format_profile_table", "ascii_profile"]
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """A set of Dolan--Moré curves over a common list of instances.
+
+    Attributes
+    ----------
+    methods:
+        Method names, in input order.
+    taus:
+        Evaluation points (``tau >= 1``).
+    curves:
+        ``curves[m][k]`` is the fraction of instances where method ``m`` is
+        within ``taus[k]`` of the best method.
+    ratios:
+        Per-method performance ratios (one entry per instance; ``inf`` when
+        the method failed or the best value is zero while the method's is
+        not).
+    """
+
+    methods: Tuple[str, ...]
+    taus: Tuple[float, ...]
+    curves: Dict[str, Tuple[float, ...]]
+    ratios: Dict[str, Tuple[float, ...]]
+
+    def fraction_best(self, method: str) -> float:
+        """``rho_m(1)``: fraction of instances where ``method`` is best."""
+        return self.value(method, 1.0)
+
+    def value(self, method: str, tau: float) -> float:
+        """Fraction of instances where ``method`` is within ``tau`` of best."""
+        ratios = self.ratios[method]
+        if not ratios:
+            return 0.0
+        count = sum(1 for r in ratios if r <= tau + 1e-12)
+        return count / len(ratios)
+
+    def area(self, method: str, tau_max: Optional[float] = None) -> float:
+        """Area under the profile curve up to ``tau_max`` (higher is better)."""
+        taus = np.asarray(self.taus)
+        curve = np.asarray(self.curves[method])
+        if tau_max is not None:
+            mask = taus <= tau_max
+            taus, curve = taus[mask], curve[mask]
+        if taus.size < 2:
+            return float(curve[0]) if curve.size else 0.0
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(curve, taus) / (taus[-1] - taus[0]))
+
+
+def performance_profile(
+    results: Mapping[str, Sequence[float]],
+    taus: Optional[Sequence[float]] = None,
+    n_points: int = 200,
+) -> PerformanceProfile:
+    """Build the Dolan--Moré performance profile of a set of methods.
+
+    Parameters
+    ----------
+    results:
+        Mapping ``method -> metric values`` (one value per instance; all
+        methods must cover the same instances in the same order).  Lower is
+        better; ``math.inf`` marks a failure.
+    taus:
+        Evaluation points; by default 200 points spanning ``[1, max ratio]``.
+    n_points:
+        Number of automatic evaluation points when ``taus`` is None.
+
+    Notes
+    -----
+    When the best value on an instance is 0 (e.g. an I/O volume of zero), a
+    method with value 0 gets ratio 1 and any other method gets ratio ``inf``,
+    which follows the usual convention for profiles of non-negative metrics.
+    """
+    methods = tuple(results)
+    if not methods:
+        raise ValueError("no methods given")
+    lengths = {len(results[m]) for m in methods}
+    if len(lengths) != 1:
+        raise ValueError("all methods must have the same number of instances")
+    n_instances = lengths.pop()
+    if n_instances == 0:
+        raise ValueError("no instances given")
+
+    values = {m: [float(v) for v in results[m]] for m in methods}
+    ratios: Dict[str, List[float]] = {m: [] for m in methods}
+    for i in range(n_instances):
+        instance_values = [values[m][i] for m in methods]
+        best = min(instance_values)
+        for m in methods:
+            v = values[m][i]
+            if math.isinf(v):
+                ratios[m].append(math.inf)
+            elif best <= 0.0:
+                ratios[m].append(1.0 if v <= 0.0 else math.inf)
+            else:
+                ratios[m].append(v / best)
+
+    if taus is None:
+        finite = [r for m in methods for r in ratios[m] if not math.isinf(r)]
+        upper = max(finite) if finite else 1.0
+        upper = max(upper, 1.0 + 1e-9)
+        taus = np.linspace(1.0, upper, n_points)
+    taus = tuple(float(t) for t in taus)
+
+    curves: Dict[str, Tuple[float, ...]] = {}
+    for m in methods:
+        rs = sorted(r for r in ratios[m])
+        curve = []
+        for tau in taus:
+            count = 0
+            for r in rs:
+                if r <= tau + 1e-12:
+                    count += 1
+                else:
+                    break
+            curve.append(count / n_instances)
+        curves[m] = tuple(curve)
+    return PerformanceProfile(
+        methods=methods,
+        taus=taus,
+        curves=curves,
+        ratios={m: tuple(ratios[m]) for m in methods},
+    )
+
+
+def format_profile_table(
+    profile: PerformanceProfile, taus: Sequence[float] = (1.0, 1.05, 1.1, 1.5, 2.0, 5.0)
+) -> str:
+    """Render a profile as a plain-text table ``method x tau``."""
+    header = "method".ljust(28) + "".join(f"tau={t:<8g}" for t in taus)
+    lines = [header, "-" * len(header)]
+    for m in profile.methods:
+        row = m.ljust(28) + "".join(f"{profile.value(m, t):<12.3f}" for t in taus)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def ascii_profile(
+    profile: PerformanceProfile, width: int = 60, height: int = 12, tau_max: Optional[float] = None
+) -> str:
+    """Tiny ASCII rendering of the profile curves (one symbol per method)."""
+    symbols = "#*+ox@%&"
+    taus = np.asarray(profile.taus)
+    if tau_max is not None:
+        mask = taus <= tau_max
+    else:
+        mask = np.ones_like(taus, dtype=bool)
+    taus = taus[mask]
+    if taus.size == 0:
+        return "(empty profile)"
+    grid = [[" "] * width for _ in range(height)]
+    for idx, method in enumerate(profile.methods):
+        curve = np.asarray(profile.curves[method])[mask]
+        sym = symbols[idx % len(symbols)]
+        for col in range(width):
+            tau = taus[0] + (taus[-1] - taus[0]) * col / max(width - 1, 1)
+            value = float(np.interp(tau, taus, curve))
+            row = height - 1 - int(round(value * (height - 1)))
+            grid[row][col] = sym
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={m}" for i, m in enumerate(profile.methods)
+    )
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    axis = f"tau: {taus[0]:.2f} .. {taus[-1]:.2f}"
+    return f"{body}\n{axis}\n{legend}"

@@ -1,0 +1,90 @@
+"""Summary statistics for the paper's tables.
+
+Tables I and II of the paper summarise the memory cost of the best postorder
+relative to the optimal traversal: the fraction of instances where the
+postorder is not optimal, and the maximum / average / standard deviation of
+the postorder-to-optimal ratio.  :func:`ratio_statistics` computes exactly
+those numbers; :func:`format_ratio_table` renders them like the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RatioStatistics", "ratio_statistics", "format_ratio_table"]
+
+
+@dataclass(frozen=True)
+class RatioStatistics:
+    """Statistics of ``value / reference`` over a set of instances.
+
+    Attributes mirror the rows of Tables I and II of the paper.
+    """
+
+    count: int
+    non_optimal_fraction: float
+    max_ratio: float
+    mean_ratio: float
+    std_ratio: float
+
+    @property
+    def optimal_fraction(self) -> float:
+        """Fraction of instances where the method matches the reference."""
+        return 1.0 - self.non_optimal_fraction
+
+
+def ratio_statistics(
+    values: Sequence[float],
+    references: Sequence[float],
+    *,
+    rel_tol: float = 1e-9,
+) -> RatioStatistics:
+    """Compute Table-I-style statistics of ``values`` against ``references``.
+
+    Parameters
+    ----------
+    values:
+        Metric of the method under study (e.g. PostOrder memory).
+    references:
+        Optimal metric on the same instances (e.g. MinMem memory).
+    rel_tol:
+        Relative tolerance used to decide that a value *is* optimal.
+    """
+    if len(values) != len(references):
+        raise ValueError("values and references must have the same length")
+    if not values:
+        raise ValueError("no instances given")
+    ratios = []
+    non_optimal = 0
+    for value, ref in zip(values, references):
+        if ref == 0:
+            ratio = 1.0 if value == 0 else math.inf
+        else:
+            ratio = value / ref
+        ratios.append(ratio)
+        if ratio > 1.0 + rel_tol:
+            non_optimal += 1
+    arr = np.asarray(ratios, dtype=float)
+    return RatioStatistics(
+        count=len(values),
+        non_optimal_fraction=non_optimal / len(values),
+        max_ratio=float(np.max(arr)),
+        mean_ratio=float(np.mean(arr)),
+        std_ratio=float(np.std(arr)),
+    )
+
+
+def format_ratio_table(stats: RatioStatistics, method: str = "PostOrder") -> str:
+    """Render statistics in the layout of Tables I and II of the paper."""
+    lines = [
+        f"Non optimal {method} traversals      {stats.non_optimal_fraction * 100:.1f}%",
+        f"Max. {method} to opt. cost ratio      {stats.max_ratio:.2f}",
+        f"Avg. {method} to opt. cost ratio      {stats.mean_ratio:.2f}",
+        f"Std. Dev. of {method} to opt. ratio   {stats.std_ratio:.2f}",
+        f"Number of instances                  {stats.count}",
+    ]
+    return "\n".join(lines)

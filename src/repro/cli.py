@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+``repro-treemem`` exposes the library's main entry points:
+
+* ``repro-treemem minmem TREE.json`` -- MinMemory values of a stored tree
+  with all three algorithms;
+* ``repro-treemem minio TREE.json --memory M`` -- out-of-core I/O volumes of
+  the six eviction heuristics;
+* ``repro-treemem dataset --scale small --output DIR`` -- materialise the
+  assembly-tree and random-tree data sets as JSON files;
+* ``repro-treemem experiment fig5|fig6|fig7|fig8|fig9|table1|table2|harpoon``
+  -- regenerate one of the paper's tables or figures and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    assembly_tree_dataset,
+    ascii_profile,
+    format_profile_table,
+    format_ratio_table,
+    random_tree_dataset,
+    run_harpoon_ablation,
+    run_minio_heuristics,
+    run_minmemory_comparison,
+    run_runtime_comparison,
+    run_traversal_io,
+)
+from .core.liu import liu_optimal_traversal
+from .core.minio import HEURISTICS, run_out_of_core
+from .core.minmem import min_mem
+from .core.postorder import best_postorder
+from .core.serialize import load_tree, save_tree, tree_to_dict
+from .core.tree import Tree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-treemem",
+        description="Memory-optimal tree traversals for sparse matrix factorization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_minmem = sub.add_parser("minmem", help="MinMemory values of a stored tree")
+    p_minmem.add_argument("tree", type=Path, help="tree JSON file (see repro.core.serialize)")
+
+    p_minio = sub.add_parser("minio", help="out-of-core I/O volume of a stored tree")
+    p_minio.add_argument("tree", type=Path)
+    p_minio.add_argument("--memory", type=float, default=None,
+                         help="main memory size (default: halfway between max MemReq and optimal)")
+    p_minio.add_argument("--algorithm", choices=("PostOrder", "Liu", "MinMem"), default="MinMem")
+
+    p_dataset = sub.add_parser("dataset", help="materialise the experiment data sets")
+    p_dataset.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
+    p_dataset.add_argument("--output", type=Path, default=Path("dataset"))
+    p_dataset.add_argument("--kind", choices=("assembly", "random", "both"), default="both")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table or figure of the paper")
+    p_exp.add_argument(
+        "which",
+        choices=("fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "harpoon"),
+    )
+    p_exp.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
+    p_exp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-treemem`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "minmem":
+        return _cmd_minmem(args)
+    if args.command == "minio":
+        return _cmd_minio(args)
+    if args.command == "dataset":
+        return _cmd_dataset(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+# ----------------------------------------------------------------------
+def _cmd_minmem(args: argparse.Namespace) -> int:
+    tree = load_tree(args.tree)
+    postorder = best_postorder(tree)
+    liu = liu_optimal_traversal(tree)
+    minmem = min_mem(tree)
+    print(f"nodes                 : {tree.size}")
+    print(f"max MemReq            : {tree.max_mem_req():.6g}")
+    print(f"PostOrder memory      : {postorder.memory:.6g}")
+    print(f"Liu (optimal) memory  : {liu.memory:.6g}")
+    print(f"MinMem (optimal)      : {minmem.memory:.6g}")
+    print(f"PostOrder / optimal   : {postorder.memory / minmem.memory:.4f}")
+    return 0
+
+
+def _cmd_minio(args: argparse.Namespace) -> int:
+    from .analysis.experiments import traversal_for
+
+    tree = load_tree(args.tree)
+    peak, traversal = traversal_for(tree, args.algorithm)
+    memory = args.memory
+    if memory is None:
+        memory = (tree.max_mem_req() + peak) / 2.0
+    if memory < tree.max_mem_req():
+        print(
+            f"error: memory {memory:.6g} is below max MemReq {tree.max_mem_req():.6g}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"traversal algorithm   : {args.algorithm} (in-core peak {peak:.6g})")
+    print(f"main memory           : {memory:.6g}")
+    for name in HEURISTICS:
+        result = run_out_of_core(tree, memory, traversal, name)
+        print(f"{name:<20}: IO volume {result.io_volume:.6g} "
+              f"({result.io_operations} files written)")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    args.output.mkdir(parents=True, exist_ok=True)
+    count = 0
+    if args.kind in ("assembly", "both"):
+        for instance in assembly_tree_dataset(args.scale):
+            path = args.output / (instance.name.replace("/", "_") + ".json")
+            save_tree(instance.tree, path)
+            count += 1
+    if args.kind in ("random", "both"):
+        for instance in random_tree_dataset(args.scale):
+            path = args.output / (instance.name.replace("/", "_") + ".json")
+            save_tree(instance.tree, path)
+            count += 1
+    print(f"wrote {count} trees to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    which = args.which
+    if which == "harpoon":
+        ablation = run_harpoon_ablation()
+        print("levels   postorder   optimal   ratio   predicted_ratio")
+        for i, level in enumerate(ablation.levels):
+            ratio = ablation.postorder[i] / ablation.optimal[i]
+            predicted = ablation.predicted_postorder[i] / ablation.predicted_optimal[i]
+            print(f"{level:>6}   {ablation.postorder[i]:>9.4f}   {ablation.optimal[i]:>7.4f}"
+                  f"   {ratio:>5.2f}   {predicted:>15.2f}")
+        return 0
+
+    if which in ("fig9", "table2"):
+        instances = random_tree_dataset(args.scale, seed=args.seed)
+    else:
+        instances = assembly_tree_dataset(args.scale)
+
+    if which in ("fig5", "table1", "fig9", "table2"):
+        comparison = run_minmemory_comparison(instances)
+        print(format_ratio_table(comparison.statistics()))
+        print()
+        profile = comparison.profile(non_optimal_only=which in ("fig5", "fig9"))
+        print(format_profile_table(profile))
+        print()
+        print(ascii_profile(profile))
+        return 0
+    if which == "fig6":
+        runtime = run_runtime_comparison(instances)
+        profile = runtime.profile()
+        print(format_profile_table(profile, taus=(1.0, 1.5, 2.0, 3.0, 5.0)))
+        for alg in runtime.times:
+            print(f"total {alg:<10}: {runtime.total_time(alg):.3f} s")
+        return 0
+    if which == "fig7":
+        comparison = run_minio_heuristics(instances)
+        print(format_profile_table(comparison.profile(), taus=(1.0, 1.5, 2.0, 3.0, 5.0)))
+        return 0
+    if which == "fig8":
+        comparison = run_traversal_io(instances)
+        print(format_profile_table(comparison.profile(), taus=(1.0, 1.5, 2.0, 3.0, 5.0)))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

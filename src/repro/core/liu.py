@@ -1,0 +1,212 @@
+"""Liu's exact MinMemory algorithm via hill--valley segments (Liu, 1987).
+
+This is the reference optimal algorithm the paper compares against.  It works
+bottom-up on the in-tree reading of the task tree.  The optimal traversal of a
+subtree is summarised by its *hill--valley representation*: the memory profile
+of the traversal is cut at well-chosen local minima into segments
+``(h_1, v_1), (h_2, v_2), ...`` where ``h_s`` is the peak reached during
+segment ``s`` and ``v_s`` the memory resident when the segment ends, with
+``h_1 >= h_2 >= ...`` and ``v_1 <= v_2 <= ...``.
+
+To combine the children of a node, their segments are interleaved in
+decreasing order of ``h_s - v_s`` (an exchange argument shows this is
+optimal), each child's own segments staying in order -- which is automatic
+because ``h - v`` is non-increasing inside a canonical representation.  After
+all children segments, the node itself executes, requiring
+``sum_j f_j + n_i + f_i`` and leaving ``f_i`` resident.  The resulting profile
+is re-cut into a canonical representation and passed to the parent.
+
+The peak of the root's first segment is the optimal memory; the concatenated
+segment node lists give an optimal traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from .traversal import BOTTOMUP, Traversal
+from .tree import Tree
+
+__all__ = ["LiuResult", "Segment", "liu_optimal_traversal", "liu_min_memory"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One hill--valley segment of a subtree traversal.
+
+    ``hill`` and ``valley`` are absolute memory levels within the subtree
+    (the subtree's own profile starts at level 0).  ``nodes`` is a *nested*
+    sequence of node chunks; use :func:`flatten_nodes` to obtain the flat
+    execution order.
+    """
+
+    hill: float
+    valley: float
+    nodes: tuple
+
+
+@dataclass(frozen=True)
+class LiuResult:
+    """Result of Liu's exact algorithm.
+
+    Attributes
+    ----------
+    memory:
+        The optimal (minimum) main memory over all traversals.
+    traversal:
+        An optimal traversal, in bottom-up convention.
+    segments:
+        Canonical hill--valley representation of the root subtree.
+    subtree_peak:
+        Optimal peak memory of every subtree (useful for diagnostics).
+    """
+
+    memory: float
+    traversal: Traversal
+    segments: Tuple[Segment, ...]
+    subtree_peak: Dict[NodeId, float]
+
+
+def flatten_nodes(nested: Sequence) -> List[NodeId]:
+    """Flatten the nested node chunks stored in :class:`Segment` objects."""
+    out: List[NodeId] = []
+    stack: List = [nested]
+    # Depth-first flattening with an explicit stack; chunks are tuples/lists,
+    # leaves are node identifiers.
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (tuple, list)):
+            stack.extend(reversed(item))
+        else:
+            out.append(item)
+    return out
+
+
+def liu_min_memory(tree: Tree) -> float:
+    """Minimum memory over all traversals (value only)."""
+    return liu_optimal_traversal(tree).memory
+
+
+def liu_optimal_traversal(tree: Tree) -> LiuResult:
+    """Run Liu's exact algorithm and return the optimal traversal.
+
+    The computation is iterative (bottom-up over the nodes) so arbitrarily
+    deep trees are supported.  Worst-case complexity is ``O(p^2)`` (quadratic
+    in the number of nodes), as in the paper.
+    """
+    segments_of: Dict[NodeId, List[Segment]] = {}
+    subtree_peak: Dict[NodeId, float] = {}
+
+    for node in tree.bottom_up_order():
+        children = tree.children(node)
+        events: List[Tuple[float, float, tuple]] = []
+
+        if children:
+            # Convert every child's canonical (absolute) segments into
+            # relative increments and merge them in decreasing (hill - valley)
+            # order, preserving per-child order for equal keys.
+            keyed: List[Tuple[float, int, int, float, float, tuple]] = []
+            for child_idx, child in enumerate(children):
+                prev_valley = 0.0
+                for seg_idx, seg in enumerate(segments_of[child]):
+                    rel_hill = seg.hill - prev_valley
+                    rel_valley = seg.valley - prev_valley
+                    keyed.append(
+                        (
+                            -(seg.hill - seg.valley),
+                            child_idx,
+                            seg_idx,
+                            rel_hill,
+                            rel_valley,
+                            seg.nodes,
+                        )
+                    )
+                    prev_valley = seg.valley
+                # children segment lists are no longer needed once merged
+                del segments_of[child]
+            keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+
+            base = 0.0
+            for _, _, _, rel_hill, rel_valley, nodes in keyed:
+                events.append((base + rel_hill, base + rel_valley, nodes))
+                base += rel_valley
+        else:
+            base = 0.0
+
+        # The node itself: children files resident, allocate n_i + f_i,
+        # release the children files, keep f_i.
+        own_peak = base + tree.n(node) + tree.f(node)
+        events.append((own_peak, tree.f(node), (node,)))
+
+        segments_of[node] = _canonical_segments(events)
+        subtree_peak[node] = max(seg.hill for seg in segments_of[node])
+
+    root_segments = tuple(segments_of[tree.root])
+    order: List[NodeId] = []
+    for seg in root_segments:
+        order.extend(flatten_nodes(seg.nodes))
+    traversal = Traversal(tuple(order), BOTTOMUP)
+    return LiuResult(
+        memory=subtree_peak[tree.root],
+        traversal=traversal,
+        segments=root_segments,
+        subtree_peak=subtree_peak,
+    )
+
+
+def _canonical_segments(events: List[Tuple[float, float, tuple]]) -> List[Segment]:
+    """Cut an event profile into its canonical hill--valley representation.
+
+    ``events`` is a list of ``(peak_during, level_after, nodes)`` triples in
+    execution order.  Each segment starts where the previous one ended, peaks
+    at the maximum remaining peak and is cut at the *last* position achieving
+    the minimum residual level reached at or after that peak.  This yields
+    non-increasing hills and non-decreasing valleys, and packs runs of events
+    with identical residual levels into a single segment (interrupting such a
+    run cannot help a parent, since the memory level at the intermediate cut
+    points equals the level at the end of the run).
+
+    The construction is a single backward sweep plus a single forward sweep,
+    i.e. linear in the number of events.
+    """
+    n_events = len(events)
+    if n_events == 0:
+        return []
+    # suffix maxima of the peaks (with first position achieving them) and
+    # suffix minima of the residual levels (with last position achieving them)
+    first_max = [0] * n_events
+    last_min = [0] * n_events
+    suffix_max = [0.0] * n_events
+    suffix_min = [0.0] * n_events
+    suffix_max[-1] = events[-1][0]
+    suffix_min[-1] = events[-1][1]
+    first_max[-1] = last_min[-1] = n_events - 1
+    for t in range(n_events - 2, -1, -1):
+        peak, level = events[t][0], events[t][1]
+        if peak >= suffix_max[t + 1]:
+            suffix_max[t] = peak
+            first_max[t] = t
+        else:
+            suffix_max[t] = suffix_max[t + 1]
+            first_max[t] = first_max[t + 1]
+        if level < suffix_min[t + 1]:
+            suffix_min[t] = level
+            last_min[t] = t
+        else:
+            suffix_min[t] = suffix_min[t + 1]
+            last_min[t] = last_min[t + 1]
+
+    segments: List[Segment] = []
+    start = 0
+    while start < n_events:
+        hill_pos = first_max[start]
+        valley_pos = last_min[hill_pos]
+        chunk = tuple(events[t][2] for t in range(start, valley_pos + 1))
+        segments.append(
+            Segment(hill=suffix_max[start], valley=events[valley_pos][1], nodes=chunk)
+        )
+        start = valley_pos + 1
+    return segments

@@ -1,0 +1,38 @@
+"""Out-of-core scheduling: the MinIO problem (Section V of the paper).
+
+The MinIO problem asks for the execution (traversal + file evictions) that
+minimises the volume of data exchanged with secondary memory when the main
+memory ``M`` is too small for a fully in-core traversal.  The problem is
+NP-complete (Theorem 2) even when the traversal is fixed, so the package
+provides the paper's six greedy eviction heuristics together with an
+out-of-core simulator and two lower bounds.
+"""
+
+from .heuristics import (
+    HEURISTICS,
+    get_heuristic,
+    select_best_fill,
+    select_best_fit,
+    select_best_k_combination,
+    select_first_fill,
+    select_first_fit,
+    select_lsnf,
+)
+from .lower_bounds import divisible_lower_bound, memory_deficit_lower_bound
+from .scheduler import OutOfCoreResult, io_volume, run_out_of_core
+
+__all__ = [
+    "HEURISTICS",
+    "get_heuristic",
+    "select_lsnf",
+    "select_first_fit",
+    "select_best_fit",
+    "select_first_fill",
+    "select_best_fill",
+    "select_best_k_combination",
+    "OutOfCoreResult",
+    "run_out_of_core",
+    "io_volume",
+    "divisible_lower_bound",
+    "memory_deficit_lower_bound",
+]

@@ -1,0 +1,187 @@
+"""Greedy file-eviction heuristics for the MinIO problem (Section V-B).
+
+When the next node ``j`` of a traversal does not fit in the available main
+memory, a volume ``IOReq(j)`` of already-produced files must be written to
+secondary memory.  Because choosing *which* files to write is NP-complete even
+for a fixed traversal (Theorem 2(i)), the paper introduces six greedy
+selection policies.  Every policy receives the candidate files ordered by
+*latest scheduled first* -- the file whose owner executes furthest in the
+future comes first -- and returns the list of victims to evict.
+
+The six policies:
+
+``lsnf``
+    *Last Scheduled Node First*: evict files in candidate order until the
+    freed volume reaches ``IOReq``.  Optimal for the divisible relaxation of
+    MinIO.
+``first_fit``
+    The first candidate whose size is at least ``IOReq``; fall back to LSNF
+    when no single file is large enough.
+``best_fit``
+    The candidate whose size is closest to the remaining requirement;
+    repeated until enough space is freed.
+``first_fill``
+    The first candidate strictly smaller than the remaining requirement;
+    repeated, with an LSNF fallback when no such file exists.
+``best_fill``
+    The candidate closest to the remaining requirement among those strictly
+    smaller than it; repeated, with an LSNF fallback.
+``best_k_combination``
+    Among the first ``K`` candidates (``K = 5`` as in the paper), the subset
+    whose total size is closest to the remaining requirement; repeated until
+    enough space is freed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+__all__ = [
+    "HEURISTICS",
+    "select_lsnf",
+    "select_first_fit",
+    "select_best_fit",
+    "select_first_fill",
+    "select_best_fill",
+    "select_best_k_combination",
+    "get_heuristic",
+]
+
+NodeId = Hashable
+Candidate = Tuple[NodeId, float]
+Selector = Callable[[Sequence[Candidate], float], List[NodeId]]
+
+_EPS = 1e-12
+
+
+def select_lsnf(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
+    """Evict the latest-used files first until ``io_req`` is covered."""
+    victims: List[NodeId] = []
+    freed = 0.0
+    for node, size in candidates:
+        if freed >= io_req - _EPS:
+            break
+        victims.append(node)
+        freed += size
+    return victims
+
+
+def select_first_fit(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
+    """Evict the first file large enough on its own; LSNF fallback."""
+    if io_req <= _EPS:
+        return []
+    for node, size in candidates:
+        if size >= io_req - _EPS:
+            return [node]
+    return select_lsnf(candidates, io_req)
+
+
+def select_best_fit(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
+    """Repeatedly evict the file whose size is closest to the remaining need."""
+    remaining = list(candidates)
+    victims: List[NodeId] = []
+    need = io_req
+    while need > _EPS and remaining:
+        best_idx = min(
+            range(len(remaining)), key=lambda k: (abs(remaining[k][1] - need), k)
+        )
+        node, size = remaining.pop(best_idx)
+        victims.append(node)
+        need -= size
+    return victims
+
+
+def select_first_fill(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
+    """Repeatedly evict the first file strictly smaller than the remaining
+    need; fall back to LSNF on whatever is left."""
+    remaining = list(candidates)
+    victims: List[NodeId] = []
+    need = io_req
+    while need > _EPS and remaining:
+        idx = next(
+            (k for k, (_, size) in enumerate(remaining) if size < need - _EPS), None
+        )
+        if idx is None:
+            victims.extend(select_lsnf(remaining, need))
+            return victims
+        node, size = remaining.pop(idx)
+        victims.append(node)
+        need -= size
+    return victims
+
+
+def select_best_fill(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
+    """Repeatedly evict the largest file strictly smaller than the remaining
+    need (the one that "fills" it best); fall back to LSNF."""
+    remaining = list(candidates)
+    victims: List[NodeId] = []
+    need = io_req
+    while need > _EPS and remaining:
+        eligible = [
+            (k, size) for k, (_, size) in enumerate(remaining) if size < need - _EPS
+        ]
+        if not eligible:
+            victims.extend(select_lsnf(remaining, need))
+            return victims
+        best_idx = min(eligible, key=lambda item: (need - item[1], item[0]))[0]
+        node, size = remaining.pop(best_idx)
+        victims.append(node)
+        need -= size
+    return victims
+
+
+def select_best_k_combination(
+    candidates: Sequence[Candidate], io_req: float, k: int = 5
+) -> List[NodeId]:
+    """Among the first ``k`` candidates, evict the subset whose total size is
+    closest to the remaining need; repeat until enough space is freed.
+
+    Subsets whose total covers the need are preferred over subsets that fall
+    short by the same margin, and smaller subsets win ties, so the policy
+    makes progress at every step.
+    """
+    remaining = list(candidates)
+    victims: List[NodeId] = []
+    need = io_req
+    while need > _EPS and remaining:
+        window = remaining[:k]
+        best_subset: Tuple[int, ...] = ()
+        best_key = None
+        for r in range(1, len(window) + 1):
+            for combo in itertools.combinations(range(len(window)), r):
+                total = sum(window[i][1] for i in combo)
+                covers = total >= need - _EPS
+                key = (abs(total - need), 0 if covers else 1, len(combo), combo)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_subset = combo
+        chosen = set(best_subset)
+        freed = 0.0
+        for i in sorted(chosen, reverse=True):
+            node, size = window[i]
+            victims.append(node)
+            freed += size
+            remaining.pop(i)
+        need -= freed
+    return victims
+
+
+HEURISTICS: Dict[str, Selector] = {
+    "lsnf": select_lsnf,
+    "first_fit": select_first_fit,
+    "best_fit": select_best_fit,
+    "first_fill": select_first_fill,
+    "best_fill": select_best_fill,
+    "best_k_combination": select_best_k_combination,
+}
+
+
+def get_heuristic(name: str) -> Selector:
+    """Look up an eviction heuristic by name (see :data:`HEURISTICS`)."""
+    try:
+        return HEURISTICS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown MinIO heuristic {name!r}; expected one of {sorted(HEURISTICS)}"
+        ) from exc

@@ -1,0 +1,89 @@
+"""Lower bounds on the MinIO volume.
+
+The paper leaves the design of general lower bounds as an open problem
+(Section VII) but two simple bounds follow directly from the model; they are
+used in the experiment harness to report how far the heuristics can possibly
+be from the optimum.
+
+* :func:`memory_deficit_lower_bound` -- any execution must, at the step where
+  the in-core peak of its traversal would be attained, have evicted at least
+  ``peak - M``; minimising over traversals gives ``max(0, MinMemory(T) - M)``.
+* :func:`divisible_lower_bound` -- for a *fixed* traversal, the divisible
+  relaxation of MinIO (fractions of files may be written) is solved optimally
+  by the LSNF rule; its value lower-bounds the integral MinIO of that
+  traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ..liu import liu_min_memory
+from ..traversal import TOPDOWN, Traversal, TraversalError, is_topological
+from ..tree import Tree
+
+__all__ = ["memory_deficit_lower_bound", "divisible_lower_bound"]
+
+NodeId = Hashable
+
+_EPS = 1e-12
+
+
+def memory_deficit_lower_bound(tree: Tree, memory: float) -> float:
+    """Traversal-independent lower bound ``max(0, MinMemory(T) - M)``.
+
+    Consider any out-of-core execution with node order ``sigma``.  Replaying
+    ``sigma`` in-core reaches a peak ``P_sigma >= MinMemory(T)``; at that very
+    step the out-of-core execution keeps at most ``M`` units resident, so
+    files totalling at least ``P_sigma - M`` have been written (and not yet
+    read back).  Hence ``IO >= MinMemory(T) - M`` for every execution.
+    """
+    return max(0.0, liu_min_memory(tree) - memory)
+
+
+def divisible_lower_bound(tree: Tree, memory: float, traversal: Traversal) -> float:
+    """Optimal I/O volume of the divisible relaxation for a fixed traversal.
+
+    Fractions of files may be evicted; the LSNF rule (evict the bytes whose
+    owner executes furthest in the future) is optimal for this relaxation, so
+    simulating it yields the exact divisible optimum, which lower-bounds the
+    integral MinIO of the same traversal.
+    """
+    traversal = traversal.as_convention(TOPDOWN)
+    if not is_topological(tree, traversal):
+        raise TraversalError("traversal violates precedence constraints")
+    if memory < tree.max_mem_req() - _EPS:
+        raise ValueError("memory is below the largest single-node requirement")
+
+    pos = traversal.position()
+    # in-memory fraction of every produced-but-unexecuted file
+    resident: Dict[NodeId, float] = {tree.root: tree.f(tree.root)}
+    written: Dict[NodeId, float] = {}
+    io_total = 0.0
+
+    for node in traversal.order:
+        # read back whatever fraction of the input file is on disk
+        if node in written:
+            resident[node] = resident.get(node, 0.0) + written.pop(node)
+        extra = tree.mem_req(node) - tree.f(node)
+        need = extra - (memory - sum(resident.values()))
+        if need > _EPS:
+            # evict fractional bytes, furthest-future-use first
+            for victim in sorted(
+                (v for v in resident if v != node), key=lambda v: pos[v], reverse=True
+            ):
+                if need <= _EPS:
+                    break
+                take = min(resident[victim], need)
+                resident[victim] -= take
+                if resident[victim] <= _EPS:
+                    del resident[victim]
+                written[victim] = written.get(victim, 0.0) + take
+                io_total += take
+                need -= take
+            if need > _EPS:
+                raise ValueError("infeasible: cannot free enough memory")
+        resident.pop(node, None)
+        for child in tree.children(node):
+            resident[child] = tree.f(child)
+    return io_total

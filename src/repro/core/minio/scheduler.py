@@ -1,0 +1,173 @@
+"""Out-of-core execution of a traversal under a limited main memory.
+
+Given a task tree, a main-memory size ``M`` at least as large as the largest
+single-node requirement, a traversal, and an eviction heuristic, the
+:func:`run_out_of_core` simulator replays the traversal and decides, whenever
+the next node does not fit, which resident files to write to secondary
+memory.  It returns the complete :class:`~repro.core.traversal.OutOfCoreSchedule`
+(node order plus eviction steps) together with the resulting I/O volume; the
+schedule is always consistent with the paper's Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from ..traversal import (
+    TOPDOWN,
+    OutOfCoreSchedule,
+    Traversal,
+    TraversalError,
+    is_topological,
+)
+from ..tree import Tree
+from .heuristics import Selector, get_heuristic
+
+__all__ = ["OutOfCoreResult", "run_out_of_core", "io_volume"]
+
+NodeId = Hashable
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class OutOfCoreResult:
+    """Result of an out-of-core simulation.
+
+    Attributes
+    ----------
+    schedule:
+        The node order plus the eviction step of every written file.
+    io_volume:
+        Total volume written to secondary memory (reads have the same total
+        volume since every written file is read back exactly once).
+    io_operations:
+        Number of files written.
+    peak_resident:
+        Largest main-memory occupation observed during the execution
+        (never exceeds the memory bound).
+    """
+
+    schedule: OutOfCoreSchedule
+    io_volume: float
+    io_operations: int
+    peak_resident: float
+
+
+def io_volume(
+    tree: Tree,
+    memory: float,
+    traversal: Traversal,
+    heuristic: Union[str, Selector] = "first_fit",
+) -> float:
+    """Convenience wrapper returning only the I/O volume."""
+    return run_out_of_core(tree, memory, traversal, heuristic).io_volume
+
+
+def run_out_of_core(
+    tree: Tree,
+    memory: float,
+    traversal: Traversal,
+    heuristic: Union[str, Selector] = "first_fit",
+) -> OutOfCoreResult:
+    """Simulate an out-of-core execution of ``traversal`` with ``memory``.
+
+    Parameters
+    ----------
+    tree:
+        The task tree.
+    memory:
+        Main memory size; must satisfy ``memory >= max_i MemReq(i)``,
+        otherwise no execution exists and a :class:`ValueError` is raised.
+    traversal:
+        Any topological traversal; a bottom-up traversal is reversed into the
+        paper's top-down convention first.
+    heuristic:
+        Name of one of the six eviction policies of Section V-B (see
+        :data:`repro.core.minio.heuristics.HEURISTICS`) or a custom selector
+        ``candidates, io_req -> victims``.
+
+    Returns
+    -------
+    OutOfCoreResult
+        Schedule, I/O volume and bookkeeping counters.
+    """
+    selector = get_heuristic(heuristic) if isinstance(heuristic, str) else heuristic
+    traversal = traversal.as_convention(TOPDOWN)
+    if not is_topological(tree, traversal):
+        raise TraversalError("traversal violates precedence constraints")
+    if memory < tree.max_mem_req() - _EPS:
+        raise ValueError(
+            f"memory {memory} is below the largest node requirement "
+            f"{tree.max_mem_req()}; no execution exists"
+        )
+
+    pos = traversal.position()
+    resident: Dict[NodeId, float] = {tree.root: tree.f(tree.root)}
+    on_disk: set = set()
+    evictions: Dict[NodeId, int] = {}
+    io_total = 0.0
+    peak_resident = tree.f(tree.root)
+
+    for step, node in enumerate(traversal.order):
+        # 1. read the input file back if it was unloaded
+        if node in on_disk:
+            on_disk.discard(node)
+            resident[node] = tree.f(node)
+
+        # 2. determine how much must be freed to execute the node
+        extra = tree.mem_req(node) - tree.f(node)
+        m_avail = memory - sum(resident.values())
+        io_req = extra - m_avail
+        if io_req > _EPS:
+            candidates = _candidates(tree, resident, pos, node)
+            victims = selector(candidates, io_req)
+            freed = 0.0
+            for victim in victims:
+                freed += resident.pop(victim)
+                on_disk.add(victim)
+                evictions[victim] = step
+                io_total += tree.f(victim)
+            if freed + _EPS < io_req:
+                # The heuristic did not free enough; finish with LSNF order so
+                # the execution always proceeds (possible since M >= MemReq).
+                for victim, size in _candidates(tree, resident, pos, node):
+                    if freed >= io_req - _EPS:
+                        break
+                    freed += resident.pop(victim)
+                    on_disk.add(victim)
+                    evictions[victim] = step
+                    io_total += size
+            if freed + _EPS < io_req:
+                raise ValueError(
+                    "infeasible eviction: not enough resident files to free"
+                )
+
+        # 3. execute the node
+        peak_resident = max(
+            peak_resident, sum(resident.values()) + extra
+        )
+        resident.pop(node, None)
+        for child in tree.children(node):
+            resident[child] = tree.f(child)
+
+    schedule = OutOfCoreSchedule(traversal=traversal, evictions=evictions)
+    return OutOfCoreResult(
+        schedule=schedule,
+        io_volume=io_total,
+        io_operations=len(evictions),
+        peak_resident=peak_resident,
+    )
+
+
+def _candidates(
+    tree: Tree,
+    resident: Dict[NodeId, float],
+    pos: Dict[NodeId, int],
+    current: NodeId,
+) -> List[Tuple[NodeId, float]]:
+    """Evictable files ordered latest-scheduled-first (the paper's set ``S``)."""
+    nodes = [v for v in resident if v != current]
+    nodes.sort(key=lambda v: pos[v], reverse=True)
+    return [(v, resident[v]) for v in nodes]

@@ -1,0 +1,84 @@
+"""Serialization of task trees and traversals.
+
+Trees are stored as a small JSON document (schema version 1) listing the
+nodes in top-down order with their parent, ``f`` and ``n`` weights, so that a
+dataset of assembly trees can be materialised once and reused across
+experiments.  Traversals are stored alongside as plain node lists with their
+convention.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .traversal import Traversal
+from .tree import Tree, TreeValidationError
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+    "traversal_to_dict",
+    "traversal_from_dict",
+]
+
+SCHEMA_VERSION = 1
+
+
+def tree_to_dict(tree: Tree) -> Dict[str, Any]:
+    """Convert a tree to a JSON-serialisable dictionary."""
+    nodes = []
+    for node in tree.topological_order():
+        nodes.append(
+            {
+                "id": node,
+                "parent": tree.parent(node),
+                "f": tree.f(node),
+                "n": tree.n(node),
+            }
+        )
+    return {"schema": SCHEMA_VERSION, "root": tree.root, "nodes": nodes}
+
+
+def tree_from_dict(data: Dict[str, Any]) -> Tree:
+    """Rebuild a tree from :func:`tree_to_dict` output."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise TreeValidationError(f"unsupported tree schema {data.get('schema')!r}")
+    tree = Tree()
+    for entry in data["nodes"]:
+        tree.add_node(
+            entry["id"], parent=entry["parent"], f=entry["f"], n=entry["n"]
+        )
+    tree.validate()
+    return tree
+
+
+def save_tree(tree: Tree, path: Union[str, Path]) -> None:
+    """Write a tree to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree)), encoding="utf-8")
+
+
+def load_tree(path: Union[str, Path]) -> Tree:
+    """Read a tree previously written by :func:`save_tree`."""
+    return tree_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def traversal_to_dict(traversal: Traversal) -> Dict[str, Any]:
+    """Convert a traversal to a JSON-serialisable dictionary."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "convention": traversal.convention,
+        "order": list(traversal.order),
+    }
+
+
+def traversal_from_dict(data: Dict[str, Any]) -> Traversal:
+    """Rebuild a traversal from :func:`traversal_to_dict` output."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise TreeValidationError(
+            f"unsupported traversal schema {data.get('schema')!r}"
+        )
+    return Traversal(tuple(data["order"]), data["convention"])

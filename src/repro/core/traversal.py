@@ -1,0 +1,345 @@
+"""Traversals of task trees and their feasibility checkers.
+
+This module implements, verbatim, the two checking procedures of the paper:
+
+* :func:`check_in_core` -- Algorithm 1, deciding whether a given node order is
+  a feasible in-core traversal with main memory ``M``;
+* :func:`check_out_of_core` -- Algorithm 2, deciding whether a node order plus
+  an I/O schedule is feasible, and computing the resulting I/O volume.
+
+It also provides the memory *simulator* used throughout the library:
+:func:`memory_profile` replays a traversal and records the memory in use at
+every step, so that the minimum feasible main memory of a given traversal is
+simply the peak of its profile.
+
+Two conventions are supported (Section III-C of the paper proves them
+equivalent under traversal reversal):
+
+* ``"topdown"`` -- the paper's out-tree reading: parents execute before their
+  children, the root's input file is resident at the start.
+* ``"bottomup"`` -- the in-tree reading natural for assembly trees: children
+  execute before their parent, the root's file is resident at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .tree import Tree, TreeValidationError
+
+__all__ = [
+    "Traversal",
+    "OutOfCoreSchedule",
+    "StepRecord",
+    "MemoryProfile",
+    "TraversalError",
+    "memory_profile",
+    "peak_memory",
+    "check_in_core",
+    "check_out_of_core",
+    "is_topological",
+    "is_postorder",
+]
+
+NodeId = Hashable
+
+TOPDOWN = "topdown"
+BOTTOMUP = "bottomup"
+_CONVENTIONS = (TOPDOWN, BOTTOMUP)
+
+
+class TraversalError(ValueError):
+    """Raised when a traversal object is malformed."""
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """An ordering of the tree nodes.
+
+    Attributes
+    ----------
+    order:
+        The node identifiers in execution order.
+    convention:
+        Either ``"topdown"`` (parents before children, the paper's default) or
+        ``"bottomup"`` (children before parents, the assembly-tree reading).
+    """
+
+    order: Tuple[NodeId, ...]
+    convention: str = BOTTOMUP
+
+    def __post_init__(self) -> None:
+        if self.convention not in _CONVENTIONS:
+            raise TraversalError(f"unknown convention {self.convention!r}")
+        object.__setattr__(self, "order", tuple(self.order))
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self):
+        return iter(self.order)
+
+    def position(self) -> Dict[NodeId, int]:
+        """Mapping node -> 0-based step index."""
+        return {node: i for i, node in enumerate(self.order)}
+
+    def reversed(self) -> "Traversal":
+        """The same traversal read in the other convention.
+
+        Reversing the permutation maps a valid bottom-up (in-tree) traversal
+        to a valid top-down (out-tree) traversal using the same amount of
+        memory, and conversely (Section III-C).
+        """
+        other = TOPDOWN if self.convention == BOTTOMUP else BOTTOMUP
+        return Traversal(tuple(reversed(self.order)), other)
+
+    def as_convention(self, convention: str) -> "Traversal":
+        """Return this traversal expressed in ``convention``."""
+        if convention not in _CONVENTIONS:
+            raise TraversalError(f"unknown convention {convention!r}")
+        return self if convention == self.convention else self.reversed()
+
+
+@dataclass(frozen=True)
+class OutOfCoreSchedule:
+    """A complete out-of-core schedule: node order plus file evictions.
+
+    Attributes
+    ----------
+    traversal:
+        The computation order (``sigma`` in the paper).
+    evictions:
+        ``evictions[v]`` is the 0-based step *before* which the communication
+        file of node ``v`` is written to secondary memory (``tau`` in the
+        paper).  Files that stay in main memory simply do not appear.
+    """
+
+    traversal: Traversal
+    evictions: Dict[NodeId, int] = field(default_factory=dict)
+
+    def io_volume(self, tree: Tree) -> float:
+        """Total volume written to secondary storage (each write is also read
+        back exactly once, so the read volume is identical)."""
+        return sum(tree.f(v) for v in self.evictions)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Memory accounting for one executed node."""
+
+    node: NodeId
+    peak_during: float
+    resident_after: float
+    io_before: float = 0.0
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Full memory trace of a traversal."""
+
+    steps: Tuple[StepRecord, ...]
+    convention: str
+
+    @property
+    def peak(self) -> float:
+        """The maximum memory in use over the whole execution."""
+        return max(s.peak_during for s in self.steps) if self.steps else 0.0
+
+    @property
+    def residuals(self) -> List[float]:
+        """Memory resident after each step."""
+        return [s.resident_after for s in self.steps]
+
+
+# ----------------------------------------------------------------------
+# structural checks
+# ----------------------------------------------------------------------
+def _check_permutation(tree: Tree, order: Sequence[NodeId]) -> None:
+    if len(order) != tree.size or set(order) != set(tree.nodes()):
+        raise TraversalError("order is not a permutation of the tree nodes")
+
+
+def is_topological(tree: Tree, traversal: Traversal) -> bool:
+    """True when the traversal respects the precedence constraints.
+
+    Top-down traversals must schedule every parent before its children,
+    bottom-up traversals every child before its parent.
+    """
+    _check_permutation(tree, traversal.order)
+    pos = traversal.position()
+    for node in tree.nodes():
+        parent = tree.parent(node)
+        if parent is None:
+            continue
+        if traversal.convention == TOPDOWN and pos[parent] >= pos[node]:
+            return False
+        if traversal.convention == BOTTOMUP and pos[parent] <= pos[node]:
+            return False
+    return True
+
+
+def is_postorder(tree: Tree, traversal: Traversal) -> bool:
+    """True when the traversal processes every subtree contiguously.
+
+    In a postorder traversal, once the first node of a subtree is executed the
+    whole subtree is finished before any node outside it (paper, Section
+    III-B).  The test also requires the traversal to be topological.
+    """
+    if not is_topological(tree, traversal):
+        return False
+    pos = traversal.position()
+    for node in tree.nodes():
+        indices = sorted(pos[v] for v in tree.subtree_nodes(node))
+        if indices[-1] - indices[0] + 1 != len(indices):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# memory simulation
+# ----------------------------------------------------------------------
+def memory_profile(tree: Tree, traversal: Traversal) -> MemoryProfile:
+    """Replay a traversal and record the memory in use at every step.
+
+    The traversal must be topological; a :class:`TraversalError` is raised
+    otherwise.  The peak of the returned profile is the minimum main memory
+    that makes the traversal feasible in-core.
+    """
+    if not is_topological(tree, traversal):
+        raise TraversalError("traversal violates precedence constraints")
+    steps: List[StepRecord] = []
+    if traversal.convention == TOPDOWN:
+        resident = tree.f(tree.root)
+        for node in traversal.order:
+            children_size = sum(tree.f(c) for c in tree.children(node))
+            peak = resident + tree.n(node) + children_size
+            resident = resident - tree.f(node) + children_size
+            steps.append(StepRecord(node, peak, resident))
+    else:
+        resident = 0.0
+        for node in traversal.order:
+            children_size = sum(tree.f(c) for c in tree.children(node))
+            peak = resident + tree.n(node) + tree.f(node)
+            resident = resident - children_size + tree.f(node)
+            steps.append(StepRecord(node, peak, resident))
+    return MemoryProfile(tuple(steps), traversal.convention)
+
+
+def peak_memory(tree: Tree, traversal: Traversal) -> float:
+    """Minimum main memory required by ``traversal`` (peak of its profile)."""
+    return memory_profile(tree, traversal).peak
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 -- checking an in-core traversal
+# ----------------------------------------------------------------------
+def check_in_core(tree: Tree, memory: float, traversal: Traversal) -> bool:
+    """Check whether ``traversal`` fits in ``memory`` (paper Algorithm 1).
+
+    The procedure follows the paper exactly for top-down traversals and the
+    symmetric accounting for bottom-up traversals.  It returns ``False``
+    (instead of raising) when a precedence or memory constraint is violated.
+    """
+    try:
+        _check_permutation(tree, traversal.order)
+    except TraversalError:
+        return False
+
+    if traversal.convention == BOTTOMUP:
+        return check_in_core(tree, memory, traversal.reversed())
+
+    ready = {tree.root}
+    m_avail = memory - tree.f(tree.root)
+    if m_avail < 0:
+        return False
+    for node in traversal.order:
+        if node not in ready:
+            return False
+        if tree.mem_req(node) > m_avail + tree.f(node):
+            return False
+        children_size = sum(tree.f(c) for c in tree.children(node))
+        m_avail = m_avail + tree.f(node) - children_size
+        ready.discard(node)
+        ready.update(tree.children(node))
+    return True
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 -- checking an out-of-core traversal
+# ----------------------------------------------------------------------
+def check_out_of_core(
+    tree: Tree,
+    memory: float,
+    schedule: OutOfCoreSchedule,
+) -> Tuple[bool, float]:
+    """Check an out-of-core schedule (paper Algorithm 2).
+
+    Parameters
+    ----------
+    tree, memory:
+        Instance of the problem.
+    schedule:
+        Node order plus eviction steps.  The order must be top-down (the
+        paper's convention); bottom-up orders are transparently reversed,
+        in which case the eviction steps must refer to the reversed order.
+
+    Returns
+    -------
+    (feasible, io_volume):
+        ``feasible`` is False when a precedence, memory or eviction constraint
+        is violated; ``io_volume`` is the total size written to secondary
+        memory (meaningful only when feasible).
+    """
+    traversal = schedule.traversal
+    try:
+        _check_permutation(tree, traversal.order)
+    except TraversalError:
+        return False, 0.0
+    if traversal.convention == BOTTOMUP:
+        reversed_schedule = OutOfCoreSchedule(traversal.reversed(), dict(schedule.evictions))
+        return check_out_of_core(tree, memory, reversed_schedule)
+
+    pos = traversal.position()
+    # evictions grouped by the step before which they happen
+    evict_at: Dict[int, List[NodeId]] = {}
+    for node, step in schedule.evictions.items():
+        if node not in tree:
+            return False, 0.0
+        evict_at.setdefault(step, []).append(node)
+
+    ready = {tree.root}
+    m_avail = memory - tree.f(tree.root)
+    if m_avail < 0:
+        return False, 0.0
+    io = 0.0
+    written = set()
+    # A file can only be written out after it has been produced: for a
+    # non-root node v, its file is produced when its parent executes.
+    for step, node in enumerate(traversal.order):
+        for victim in evict_at.get(step, ()):  # tau(victim) == step
+            if pos[victim] <= step:
+                # Equation (6): tau(i) < sigma(i) -- the file must be evicted
+                # strictly before its owner executes.
+                return False, 0.0
+            parent = tree.parent(victim)
+            produced = parent is None or pos[parent] < step
+            if not produced:
+                return False, 0.0
+            if victim in written:
+                return False, 0.0
+            written.add(victim)
+            m_avail += tree.f(victim)
+            io += tree.f(victim)
+        if node in written:
+            written.discard(node)
+            m_avail -= tree.f(node)
+        if node not in ready:
+            return False, io
+        if tree.mem_req(node) > m_avail + tree.f(node):
+            return False, io
+        children_size = sum(tree.f(c) for c in tree.children(node))
+        m_avail = m_avail + tree.f(node) - children_size
+        ready.discard(node)
+        ready.update(tree.children(node))
+    return True, io

@@ -1,0 +1,41 @@
+"""Synthetic tree families: worst cases, hardness instances and random trees."""
+
+from .harpoon import (
+    harpoon_tree,
+    iterated_harpoon_tree,
+    optimal_memory_bound,
+    postorder_memory_bound,
+    postorder_vs_optimal_ratio_bound,
+    two_partition_harpoon,
+)
+from .random_trees import (
+    random_attachment_tree,
+    random_binary_tree,
+    random_caterpillar,
+    random_recent_attachment_tree,
+    reweight_random,
+)
+from .synthetic import (
+    balanced_tree,
+    bamboo_with_bushes,
+    broom_tree,
+    full_binary_expression_tree,
+)
+
+__all__ = [
+    "harpoon_tree",
+    "iterated_harpoon_tree",
+    "two_partition_harpoon",
+    "postorder_memory_bound",
+    "optimal_memory_bound",
+    "postorder_vs_optimal_ratio_bound",
+    "reweight_random",
+    "random_attachment_tree",
+    "random_recent_attachment_tree",
+    "random_binary_tree",
+    "random_caterpillar",
+    "balanced_tree",
+    "broom_tree",
+    "bamboo_with_bushes",
+    "full_binary_expression_tree",
+]

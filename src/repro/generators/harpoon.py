@@ -1,0 +1,160 @@
+"""Harpoon graphs: the worst-case and hardness constructions of the paper.
+
+Two families are provided:
+
+* :func:`harpoon_tree` and :func:`iterated_harpoon_tree` -- the construction
+  of Theorem 1 (Figure 3).  A single-level harpoon has a root with a light
+  file ``epsilon`` and ``b`` branches, each a chain ``M/b -> epsilon -> M``.
+  A postorder traversal must keep the untouched heavy ``M/b`` files of the
+  other branches while it finishes one branch, so it needs
+  ``M + eps + (b-1) M/b`` memory, whereas the optimal traversal first turns
+  every heavy ``M/b`` file into a light ``epsilon`` file and only then
+  descends, needing only ``M + b*eps``.  Iterating the construction -- every
+  branch tip of level ``k < L`` becomes the root of a level-``k+1`` harpoon,
+  and only the deepest tips carry the heavy ``M`` files -- makes the
+  postorder/optimal ratio arbitrarily large:
+
+  ``M_PO = M + eps + L (b-1) M/b``   vs   ``M_min = M + eps + L (b-1) eps``.
+
+* :func:`two_partition_harpoon` -- the reduction of Theorem 2 (Figure 4).
+  Given the integers of a 2-Partition instance, the tree admits an
+  out-of-core execution with at most ``S/2`` I/O and ``M = 2S`` memory if and
+  only if the instance has a solution, which makes MinIO NP-complete.
+
+Both generators produce the top-down (out-tree) reading used in the paper's
+figures; the trees can be handed directly to every algorithm of
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.tree import Tree
+
+__all__ = [
+    "harpoon_tree",
+    "iterated_harpoon_tree",
+    "two_partition_harpoon",
+    "postorder_memory_bound",
+    "optimal_memory_bound",
+    "postorder_vs_optimal_ratio_bound",
+]
+
+
+def harpoon_tree(branches: int, memory: float = 1.0, epsilon: float = 0.01) -> Tree:
+    """Single-level harpoon of Theorem 1 (Figure 3a)."""
+    return iterated_harpoon_tree(branches, levels=1, memory=memory, epsilon=epsilon)
+
+
+def iterated_harpoon_tree(
+    branches: int, levels: int, memory: float = 1.0, epsilon: float = 0.01
+) -> Tree:
+    """Iterated harpoon of Theorem 1 (Figure 3b).
+
+    Parameters
+    ----------
+    branches:
+        Number of branches ``b`` per level (at least 2 for the theorem).
+    levels:
+        Number of nested levels ``L``.
+    memory:
+        The parameter ``M``: heavy branch files have size ``M / b`` and the
+        deepest tips size ``M``.
+    epsilon:
+        Size of the light files.
+
+    Returns
+    -------
+    Tree
+        ``1 + 3 b (b^L - 1) / (b - 1)`` nodes (for ``b > 1``); all execution
+        files are zero.  The best postorder needs
+        ``M + eps + L (b-1) M / b`` memory while the optimal traversal needs
+        only ``M + eps + L (b-1) eps``.
+    """
+    if branches < 1:
+        raise ValueError("need at least one branch")
+    if levels < 1:
+        raise ValueError("need at least one level")
+    tree = Tree()
+    tree.add_node("root", f=epsilon, n=0.0)
+    frontier: List[str] = ["root"]
+    for level in range(1, levels + 1):
+        last = level == levels
+        tip_size = memory if last else epsilon
+        next_frontier: List[str] = []
+        for anchor in frontier:
+            for b in range(branches):
+                heavy = f"{anchor}/{level}.{b}/heavy"
+                light = f"{anchor}/{level}.{b}/light"
+                tip = f"{anchor}/{level}.{b}/tip"
+                tree.add_node(heavy, parent=anchor, f=memory / branches, n=0.0)
+                tree.add_node(light, parent=heavy, f=epsilon, n=0.0)
+                tree.add_node(tip, parent=light, f=tip_size, n=0.0)
+                next_frontier.append(tip)
+        frontier = next_frontier
+    tree.validate()
+    return tree
+
+
+def postorder_memory_bound(
+    branches: int, levels: int, memory: float = 1.0, epsilon: float = 0.01
+) -> float:
+    """Memory needed by the best postorder on the iterated harpoon
+    (``M + eps + L (b-1) M / b``, Theorem 1)."""
+    return memory + epsilon + levels * (branches - 1) * memory / branches
+
+
+def optimal_memory_bound(
+    branches: int, levels: int, memory: float = 1.0, epsilon: float = 0.01
+) -> float:
+    """Memory needed by the optimal traversal on the iterated harpoon
+    (``M + eps + L (b-1) eps``, Theorem 1)."""
+    return memory + epsilon + levels * (branches - 1) * epsilon
+
+
+def postorder_vs_optimal_ratio_bound(
+    branches: int, levels: int, memory: float = 1.0, epsilon: float = 0.01
+) -> float:
+    """Postorder/optimal memory ratio forced by the iterated harpoon."""
+    return postorder_memory_bound(branches, levels, memory, epsilon) / optimal_memory_bound(
+        branches, levels, memory, epsilon
+    )
+
+
+def two_partition_harpoon(values: Sequence[float]) -> Tree:
+    """NP-hardness instance of Theorem 2 (Figure 4).
+
+    Parameters
+    ----------
+    values:
+        The integers ``a_1 .. a_n`` of a 2-Partition instance with total
+        ``S = sum(values)``.
+
+    Returns
+    -------
+    Tree
+        The harpoon with root ``T_in`` (file 0, ``MemReq = 2S`` through its
+        children), ``n`` branches with files ``a_i`` followed by leaves
+        ``T_out_i`` of size ``S``, and one branch ``T_big`` with file ``S``
+        followed by a leaf ``T_out_big`` of size ``S/2``.  With memory
+        ``M = 2S`` (the root's requirement), an out-of-core execution with
+        I/O at most ``S/2`` exists iff the 2-Partition instance is solvable:
+        after the root executes the memory is full, descending into any
+        ``T_i`` branch would force ``S`` units of eviction, so ``T_big`` must
+        go first and exactly ``S/2`` units -- a subset of the ``a_i`` files --
+        must be written out.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one value")
+    total = sum(values)
+    tree = Tree()
+    tree.add_node("T_in", f=0.0, n=0.0)
+    for i, value in enumerate(values):
+        tree.add_node(f"T_{i}", parent="T_in", f=value, n=0.0)
+        tree.add_node(f"T_out_{i}", parent=f"T_{i}", f=total, n=0.0)
+    tree.add_node("T_big", parent="T_in", f=total, n=0.0)
+    tree.add_node("T_out_big", parent="T_big", f=total / 2.0, n=0.0)
+    tree.validate()
+    return tree

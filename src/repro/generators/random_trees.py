@@ -1,0 +1,192 @@
+"""Random weighted trees (the paper's Section VI-E protocol and more).
+
+Section VI-E keeps the *shape* of every assembly tree but replaces its
+weights: node weights are drawn uniformly from ``[1, N/500]`` and edge
+weights from ``[1, N]``, where ``N`` is the number of tree nodes.  This
+module implements that reweighting plus a few random-shape generators used to
+enlarge the data sets:
+
+* :func:`reweight_random` -- the Section VI-E protocol on an existing tree;
+* :func:`random_attachment_tree` -- each new node attaches to a uniformly
+  random earlier node (shallow, bushy trees);
+* :func:`random_recent_attachment_tree` -- attachment biased towards recent
+  nodes (deep trees, closer to elimination trees of banded matrices);
+* :func:`random_binary_tree` -- uniformly random full binary topologies;
+* :func:`random_caterpillar` -- a spine with random numbers of leaf children.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.tree import Tree
+
+__all__ = [
+    "reweight_random",
+    "random_attachment_tree",
+    "random_recent_attachment_tree",
+    "random_binary_tree",
+    "random_caterpillar",
+]
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def reweight_random(
+    tree: Tree,
+    seed: Optional[int] = None,
+    *,
+    node_high: Optional[int] = None,
+    edge_high: Optional[int] = None,
+) -> Tree:
+    """Apply the Section VI-E random reweighting to a tree.
+
+    Node (execution) weights are drawn uniformly from ``[1, N/500]`` and edge
+    (file) weights from ``[1, N]``, with ``N`` the number of nodes; the upper
+    bounds can be overridden.  The root keeps ``f = 0`` if it had it (the
+    paper's assembly trees have no file above the root).
+    """
+    rng = _rng(seed)
+    n_nodes = tree.size
+    node_high = max(1, n_nodes // 500) if node_high is None else max(1, node_high)
+    edge_high = max(1, n_nodes) if edge_high is None else max(1, edge_high)
+    out = tree.copy()
+    for node in out.nodes():
+        out.set_n(node, float(rng.randint(1, node_high)))
+        if node == out.root and tree.f(node) == 0.0:
+            out.set_f(node, 0.0)
+        else:
+            out.set_f(node, float(rng.randint(1, edge_high)))
+    return out
+
+
+def random_attachment_tree(
+    n_nodes: int,
+    seed: Optional[int] = None,
+    *,
+    max_f: float = 100.0,
+    max_n: float = 20.0,
+) -> Tree:
+    """Uniform random attachment: node ``i`` picks its parent in ``[0, i-1]``.
+
+    Produces shallow trees of expected height ``O(log n)`` with a wide degree
+    distribution.  Weights are uniform integers in ``[1, max_f]`` /
+    ``[0, max_n]``.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = _rng(seed)
+    tree = Tree()
+    tree.add_node(0, f=0.0, n=float(rng.randint(0, int(max_n))))
+    for i in range(1, n_nodes):
+        parent = rng.randrange(i)
+        tree.add_node(
+            i,
+            parent=parent,
+            f=float(rng.randint(1, int(max_f))),
+            n=float(rng.randint(0, int(max_n))),
+        )
+    return tree
+
+
+def random_recent_attachment_tree(
+    n_nodes: int,
+    seed: Optional[int] = None,
+    *,
+    window: int = 16,
+    max_f: float = 100.0,
+    max_n: float = 20.0,
+) -> Tree:
+    """Random attachment restricted to the ``window`` most recent nodes.
+
+    Produces deep, chain-like trees reminiscent of elimination trees of
+    banded matrices.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = _rng(seed)
+    tree = Tree()
+    tree.add_node(0, f=0.0, n=float(rng.randint(0, int(max_n))))
+    for i in range(1, n_nodes):
+        parent = rng.randrange(max(0, i - window), i)
+        tree.add_node(
+            i,
+            parent=parent,
+            f=float(rng.randint(1, int(max_f))),
+            n=float(rng.randint(0, int(max_n))),
+        )
+    return tree
+
+
+def random_binary_tree(
+    n_leaves: int,
+    seed: Optional[int] = None,
+    *,
+    max_f: float = 100.0,
+    max_n: float = 20.0,
+) -> Tree:
+    """A random full binary tree with ``n_leaves`` leaves.
+
+    Built top-down by recursively splitting the leaf count uniformly at
+    random; internal nodes have exactly two children.
+    """
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    rng = _rng(seed)
+    tree = Tree()
+    counter = [0]
+
+    def new_node(parent) -> int:
+        idx = counter[0]
+        counter[0] += 1
+        f = 0.0 if parent is None else float(rng.randint(1, int(max_f)))
+        tree.add_node(idx, parent=parent, f=f, n=float(rng.randint(0, int(max_n))))
+        return idx
+
+    stack = [(new_node(None), n_leaves)]
+    while stack:
+        node, leaves = stack.pop()
+        if leaves <= 1:
+            continue
+        left = rng.randint(1, leaves - 1)
+        right = leaves - left
+        stack.append((new_node(node), left))
+        stack.append((new_node(node), right))
+    return tree
+
+
+def random_caterpillar(
+    spine: int,
+    seed: Optional[int] = None,
+    *,
+    max_leaves: int = 4,
+    max_f: float = 100.0,
+    max_n: float = 20.0,
+) -> Tree:
+    """A caterpillar: a spine of ``spine`` nodes, each with random leaves."""
+    if spine < 1:
+        raise ValueError("need a spine of at least one node")
+    rng = _rng(seed)
+    tree = Tree()
+    tree.add_node(0, f=0.0, n=float(rng.randint(0, int(max_n))))
+    counter = spine
+    for i in range(1, spine):
+        tree.add_node(
+            i,
+            parent=i - 1,
+            f=float(rng.randint(1, int(max_f))),
+            n=float(rng.randint(0, int(max_n))),
+        )
+    for i in range(spine):
+        for _ in range(rng.randint(0, max_leaves)):
+            tree.add_node(
+                counter,
+                parent=i,
+                f=float(rng.randint(1, int(max_f))),
+                n=float(rng.randint(0, int(max_n))),
+            )
+            counter += 1
+    return tree

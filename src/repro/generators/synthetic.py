@@ -1,0 +1,83 @@
+"""Deterministic parametric tree shapes.
+
+Small, fully deterministic families used by the unit tests and by the
+documentation examples: chains, stars, balanced ``k``-ary trees, brooms,
+bamboo-with-bushes and the textbook expression trees of the Sethi--Ullman
+register-allocation problem.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.tree import Tree
+
+__all__ = [
+    "balanced_tree",
+    "broom_tree",
+    "bamboo_with_bushes",
+    "full_binary_expression_tree",
+]
+
+
+def balanced_tree(arity: int, depth: int, f: float = 1.0, n: float = 0.0) -> Tree:
+    """A perfect ``arity``-ary tree of the given ``depth`` (root at depth 0)."""
+    if arity < 1 or depth < 0:
+        raise ValueError("arity must be >= 1 and depth >= 0")
+    tree = Tree()
+    tree.add_node(0, f=f, n=n)
+    counter = 1
+    frontier = [0]
+    for _ in range(depth):
+        nxt = []
+        for parent in frontier:
+            for _ in range(arity):
+                tree.add_node(counter, parent=parent, f=f, n=n)
+                nxt.append(counter)
+                counter += 1
+        frontier = nxt
+    return tree
+
+
+def broom_tree(handle: int, bristles: int, f: float = 1.0, n: float = 0.0) -> Tree:
+    """A chain of ``handle`` nodes ending in ``bristles`` leaves."""
+    if handle < 1 or bristles < 0:
+        raise ValueError("handle must be >= 1 and bristles >= 0")
+    tree = Tree()
+    tree.add_node(0, f=f, n=n)
+    for i in range(1, handle):
+        tree.add_node(i, parent=i - 1, f=f, n=n)
+    for b in range(bristles):
+        tree.add_node(handle + b, parent=handle - 1, f=f, n=n)
+    return tree
+
+
+def bamboo_with_bushes(
+    segments: int, bush_size: int, f_spine: float = 1.0, f_bush: float = 1.0, n: float = 0.0
+) -> Tree:
+    """A spine where every node carries a star of ``bush_size`` leaves."""
+    if segments < 1 or bush_size < 0:
+        raise ValueError("segments must be >= 1 and bush_size >= 0")
+    tree = Tree()
+    tree.add_node(0, f=f_spine, n=n)
+    counter = segments
+    for i in range(1, segments):
+        tree.add_node(i, parent=i - 1, f=f_spine, n=n)
+    for i in range(segments):
+        for _ in range(bush_size):
+            tree.add_node(counter, parent=i, f=f_bush, n=n)
+            counter += 1
+    return tree
+
+
+def full_binary_expression_tree(depth: int) -> Tree:
+    """The expression tree of a balanced binary arithmetic expression.
+
+    Unit file sizes and zero execution files: together with the
+    replacement-model reduction this is exactly the Sethi--Ullman register
+    allocation instance, whose optimal register count is ``depth + 1``.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    tree = balanced_tree(2, depth, f=1.0, n=0.0)
+    return tree

@@ -1,0 +1,79 @@
+"""Sparse-matrix substrate: from matrices to weighted assembly trees.
+
+This package builds everything the paper's experiments need upstream of the
+traversal algorithms: synthetic SPD matrices, fill-reducing orderings,
+elimination trees, symbolic factorization, supernode amalgamation with the
+paper's weights, a multifrontal Cholesky engine, and Matrix Market I/O.
+"""
+
+from .amalgamation import AmalgamatedTree, Supernode, amalgamate
+from .assembly import AssemblyTreeResult, assembly_tree_from_etree, build_assembly_tree
+from .etree import (
+    elimination_tree,
+    etree_children,
+    etree_heights,
+    etree_postorder,
+    etree_to_task_tree,
+)
+from .graph import symmetrized_pattern
+from .matrices import (
+    anisotropic_laplacian_2d,
+    banded_spd,
+    graph_laplacian,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    is_symmetric,
+    make_spd,
+    random_spd,
+)
+from .mmio import read_matrix_market, write_matrix_market
+from .multifrontal import MultifrontalResult, frontal_memory_tree, multifrontal_cholesky
+from .ordering import (
+    ORDERINGS,
+    apply_ordering,
+    minimum_degree_ordering,
+    natural_ordering,
+    nested_dissection_ordering,
+    permutation_matrix,
+    rcm_ordering,
+)
+from .symbolic import SymbolicStats, column_counts, column_patterns, symbolic_stats
+
+__all__ = [
+    "AmalgamatedTree",
+    "Supernode",
+    "amalgamate",
+    "AssemblyTreeResult",
+    "build_assembly_tree",
+    "assembly_tree_from_etree",
+    "elimination_tree",
+    "etree_children",
+    "etree_heights",
+    "etree_postorder",
+    "etree_to_task_tree",
+    "symmetrized_pattern",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "anisotropic_laplacian_2d",
+    "random_spd",
+    "banded_spd",
+    "graph_laplacian",
+    "is_symmetric",
+    "make_spd",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MultifrontalResult",
+    "multifrontal_cholesky",
+    "frontal_memory_tree",
+    "ORDERINGS",
+    "natural_ordering",
+    "rcm_ordering",
+    "minimum_degree_ordering",
+    "nested_dissection_ordering",
+    "apply_ordering",
+    "permutation_matrix",
+    "SymbolicStats",
+    "column_counts",
+    "column_patterns",
+    "symbolic_stats",
+]

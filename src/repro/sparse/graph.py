@@ -1,0 +1,134 @@
+"""Graph utilities over sparse matrix patterns.
+
+The orderings and elimination-tree routines work on the *symmetrized pattern*
+of the input matrix, ``|A| + |A|ᵀ + I`` (the paper, Section VI-B).  This
+module provides that symmetrization plus the small amount of graph machinery
+the orderings need: adjacency lists, connectivity, BFS level structures and
+pseudo-peripheral vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "symmetrized_pattern",
+    "adjacency_lists",
+    "connected_components",
+    "bfs_levels",
+    "pseudo_peripheral_vertex",
+]
+
+
+def symmetrized_pattern(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Structural symmetrization ``|A| + |A|ᵀ + I`` (pattern only, values 1).
+
+    The returned CSR matrix has a full diagonal and a symmetric pattern; the
+    numerical values are all 1 since only the structure matters for orderings
+    and symbolic factorization.
+    """
+    n = matrix.shape[0]
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("matrix must be square")
+    pattern = sp.csr_matrix(
+        (np.ones(matrix.nnz), matrix.nonzero()), shape=matrix.shape
+    )
+    sym = pattern + pattern.T + sp.identity(n, format="csr")
+    sym.data[:] = 1.0
+    sym.sum_duplicates()
+    return sp.csr_matrix(sym)
+
+
+def adjacency_lists(pattern: sp.spmatrix) -> List[np.ndarray]:
+    """Adjacency lists (excluding self loops) of a symmetric pattern."""
+    csr = sp.csr_matrix(pattern)
+    n = csr.shape[0]
+    out: List[np.ndarray] = []
+    indptr, indices = csr.indptr, csr.indices
+    for v in range(n):
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        out.append(nbrs[nbrs != v].copy())
+    return out
+
+def connected_components(adjacency: Sequence[np.ndarray]) -> List[List[int]]:
+    """Connected components of an adjacency-list graph (BFS)."""
+    n = len(adjacency)
+    seen = np.zeros(n, dtype=bool)
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        comp = [start]
+        seen[start] = True
+        queue: deque = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in adjacency[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    comp.append(int(w))
+                    queue.append(int(w))
+        components.append(comp)
+    return components
+
+
+def bfs_levels(
+    adjacency: Sequence[np.ndarray], start: int, allowed: Optional[np.ndarray] = None
+) -> List[List[int]]:
+    """BFS level structure rooted at ``start``.
+
+    ``allowed`` is an optional boolean mask restricting the traversal to a
+    vertex subset (used by nested dissection on sub-graphs).
+    """
+    n = len(adjacency)
+    if allowed is None:
+        allowed = np.ones(n, dtype=bool)
+    seen = np.zeros(n, dtype=bool)
+    seen[start] = True
+    levels: List[List[int]] = [[start]]
+    frontier = [start]
+    while frontier:
+        nxt: List[int] = []
+        for v in frontier:
+            for w in adjacency[v]:
+                if allowed[w] and not seen[w]:
+                    seen[w] = True
+                    nxt.append(int(w))
+        if nxt:
+            levels.append(nxt)
+        frontier = nxt
+    return levels
+
+
+def pseudo_peripheral_vertex(
+    adjacency: Sequence[np.ndarray],
+    vertices: Sequence[int],
+    allowed: Optional[np.ndarray] = None,
+) -> Tuple[int, List[List[int]]]:
+    """A pseudo-peripheral vertex of the (sub)graph and its level structure.
+
+    Implements the George--Liu heuristic: start from an arbitrary vertex,
+    repeatedly move to a vertex of the last BFS level until the eccentricity
+    stops growing.  Used both by RCM and by the nested-dissection separator.
+    """
+    vertices = list(vertices)
+    if not vertices:
+        raise ValueError("empty vertex set")
+    if allowed is None:
+        allowed = np.zeros(len(adjacency), dtype=bool)
+        allowed[np.asarray(vertices, dtype=int)] = True
+    current = vertices[0]
+    levels = bfs_levels(adjacency, current, allowed)
+    while True:
+        last_level = levels[-1]
+        candidate = min(last_level, key=lambda v: len(adjacency[v]))
+        new_levels = bfs_levels(adjacency, candidate, allowed)
+        if len(new_levels) > len(levels):
+            current, levels = candidate, new_levels
+        else:
+            return current, levels
+    return current, levels

@@ -1,0 +1,210 @@
+"""Synthetic sparse symmetric positive definite matrix generators.
+
+The paper evaluates its algorithms on assembly trees built from 291 matrices
+of the University of Florida Sparse Matrix Collection.  That collection is not
+redistributable inside this repository, so the experiment harness substitutes
+a deterministic synthetic suite that spans the same qualitative structures:
+
+* :func:`grid_laplacian_2d` / :func:`grid_laplacian_3d` -- discretised
+  Laplacians on regular meshes (5-point / 7-point / 9-point stencils), the
+  typical "PDE" matrices of the collection;
+* :func:`anisotropic_laplacian_2d` -- stretched stencils producing elongated
+  elimination trees;
+* :func:`random_spd` -- random sparse SPD matrices ``B Bᵀ + αI`` with
+  unstructured patterns;
+* :func:`graph_laplacian` -- Laplacians of Watts--Strogatz, Barabási--Albert
+  and random geometric graphs (via ``networkx``), covering small-world and
+  power-law patterns;
+* :func:`banded_spd` -- band matrices whose elimination trees are chains.
+
+All generators return ``scipy.sparse.csc_matrix`` and are deterministic for a
+given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "anisotropic_laplacian_2d",
+    "random_spd",
+    "banded_spd",
+    "graph_laplacian",
+    "is_symmetric",
+    "make_spd",
+]
+
+
+def _to_csc(matrix: sp.spmatrix) -> sp.csc_matrix:
+    out = sp.csc_matrix(matrix)
+    out.sum_duplicates()
+    out.eliminate_zeros()
+    return out
+
+
+def is_symmetric(matrix: sp.spmatrix, tol: float = 1e-12) -> bool:
+    """True when the matrix equals its transpose up to ``tol``."""
+    diff = (matrix - matrix.T).tocoo()
+    if diff.nnz == 0:
+        return True
+    return float(np.max(np.abs(diff.data))) <= tol
+
+
+def make_spd(matrix: sp.spmatrix, shift: Optional[float] = None) -> sp.csc_matrix:
+    """Shift a symmetric matrix to make it (strictly) diagonally dominant SPD.
+
+    Each diagonal entry is raised to the sum of the absolute off-diagonal
+    entries of its row plus ``shift`` (default 1), which guarantees positive
+    definiteness without changing the sparsity pattern outside the diagonal.
+    """
+    matrix = _to_csc(matrix)
+    if shift is None:
+        shift = 1.0
+    abs_row_sum = np.asarray(np.abs(matrix).sum(axis=1)).ravel()
+    diagonal = matrix.diagonal()
+    boost = abs_row_sum - np.abs(diagonal) + shift
+    return _to_csc(matrix + sp.diags(boost - diagonal + np.abs(diagonal)))
+
+
+def grid_laplacian_2d(nx: int, ny: Optional[int] = None, stencil: int = 5) -> sp.csc_matrix:
+    """Laplacian of an ``nx x ny`` grid (5-point or 9-point stencil).
+
+    The returned matrix is symmetric positive definite (the standard
+    ``4I - shifts`` stencil plus a unit diagonal shift).
+    """
+    if ny is None:
+        ny = nx
+    if stencil not in (5, 9):
+        raise ValueError("stencil must be 5 or 9")
+    idx = np.arange(nx * ny).reshape(nx, ny)
+    rows, cols, vals = [], [], []
+
+    def add(a: np.ndarray, b: np.ndarray, value: float) -> None:
+        rows.extend(a.ravel())
+        cols.extend(b.ravel())
+        vals.extend([value] * a.size)
+        rows.extend(b.ravel())
+        cols.extend(a.ravel())
+        vals.extend([value] * a.size)
+
+    add(idx[:-1, :], idx[1:, :], -1.0)
+    add(idx[:, :-1], idx[:, 1:], -1.0)
+    if stencil == 9:
+        add(idx[:-1, :-1], idx[1:, 1:], -0.5)
+        add(idx[:-1, 1:], idx[1:, :-1], -0.5)
+    n = nx * ny
+    off = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    degree = -np.asarray(off.sum(axis=1)).ravel()
+    return _to_csc(off + sp.diags(degree + 1.0))
+
+
+def grid_laplacian_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None) -> sp.csc_matrix:
+    """7-point Laplacian of an ``nx x ny x nz`` grid (SPD)."""
+    if ny is None:
+        ny = nx
+    if nz is None:
+        nz = nx
+    idx = np.arange(nx * ny * nz).reshape(nx, ny, nz)
+    rows, cols = [], []
+
+    def add(a: np.ndarray, b: np.ndarray) -> None:
+        rows.extend(a.ravel())
+        cols.extend(b.ravel())
+        rows.extend(b.ravel())
+        cols.extend(a.ravel())
+
+    add(idx[:-1, :, :], idx[1:, :, :])
+    add(idx[:, :-1, :], idx[:, 1:, :])
+    add(idx[:, :, :-1], idx[:, :, 1:])
+    n = nx * ny * nz
+    off = sp.coo_matrix((-np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    degree = -np.asarray(off.sum(axis=1)).ravel()
+    return _to_csc(off + sp.diags(degree + 1.0))
+
+
+def anisotropic_laplacian_2d(nx: int, ny: Optional[int] = None, ratio: float = 100.0) -> sp.csc_matrix:
+    """2-D Laplacian with anisotropic coefficients (SPD).
+
+    A large ``ratio`` strongly couples one direction, which steers most
+    orderings towards band-like structures and deep elimination trees.
+    """
+    if ny is None:
+        ny = nx
+    idx = np.arange(nx * ny).reshape(nx, ny)
+    rows, cols, vals = [], [], []
+
+    def add(a: np.ndarray, b: np.ndarray, value: float) -> None:
+        rows.extend(a.ravel())
+        cols.extend(b.ravel())
+        vals.extend([value] * a.size)
+        rows.extend(b.ravel())
+        cols.extend(a.ravel())
+        vals.extend([value] * a.size)
+
+    add(idx[:-1, :], idx[1:, :], -1.0)
+    add(idx[:, :-1], idx[:, 1:], -float(ratio))
+    n = nx * ny
+    off = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    degree = -np.asarray(off.sum(axis=1)).ravel()
+    return _to_csc(off + sp.diags(degree + 1.0))
+
+
+def banded_spd(n: int, bandwidth: int = 3, seed: int = 0) -> sp.csc_matrix:
+    """Random SPD band matrix with the given half-bandwidth."""
+    rng = np.random.default_rng(seed)
+    diags = [rng.uniform(0.1, 1.0, n - k) for k in range(1, bandwidth + 1)]
+    offsets = list(range(1, bandwidth + 1))
+    upper = sp.diags(diags, offsets, shape=(n, n))
+    sym = upper + upper.T
+    return make_spd(sym)
+
+
+def random_spd(n: int, density: float = 0.01, seed: int = 0) -> sp.csc_matrix:
+    """Random sparse SPD matrix with an unstructured pattern.
+
+    A random sparse matrix ``B`` is symmetrised and shifted to diagonal
+    dominance; ``density`` controls the expected off-diagonal fill.
+    """
+    rng = np.random.default_rng(seed)
+    b = sp.random(n, n, density=density, random_state=rng, format="coo")
+    sym = b + b.T
+    return make_spd(sym)
+
+
+def graph_laplacian(kind: str, n: int, seed: int = 0, **kwargs) -> sp.csc_matrix:
+    """SPD Laplacian of a synthetic ``networkx`` graph.
+
+    Parameters
+    ----------
+    kind:
+        ``"watts_strogatz"``, ``"barabasi_albert"`` or ``"random_geometric"``.
+    n:
+        Number of vertices.
+    seed:
+        Random seed (deterministic generation).
+    kwargs:
+        Extra parameters forwarded to the ``networkx`` generator
+        (``k``/``p`` for Watts--Strogatz, ``m`` for Barabási--Albert,
+        ``radius`` for random geometric).
+    """
+    import networkx as nx
+
+    if kind == "watts_strogatz":
+        graph = nx.connected_watts_strogatz_graph(
+            n, k=kwargs.get("k", 6), p=kwargs.get("p", 0.1), seed=seed
+        )
+    elif kind == "barabasi_albert":
+        graph = nx.barabasi_albert_graph(n, m=kwargs.get("m", 3), seed=seed)
+    elif kind == "random_geometric":
+        graph = nx.random_geometric_graph(
+            n, radius=kwargs.get("radius", (2.0 / max(n, 1)) ** 0.5), seed=seed
+        )
+    else:
+        raise ValueError(f"unknown graph kind {kind!r}")
+    lap = nx.laplacian_matrix(graph, nodelist=sorted(graph.nodes())).astype(float)
+    return _to_csc(lap + sp.identity(n))

@@ -1,0 +1,96 @@
+"""Minimal Matrix Market (coordinate format) reader and writer.
+
+The University of Florida collection distributes matrices in the Matrix
+Market exchange format; this module implements the subset needed to load such
+files (real / integer / pattern, general or symmetric, coordinate format) and
+to write matrices back, without relying on ``scipy.io`` so that the substrate
+is self-contained.  The reader is validated against ``scipy.io.mmread`` in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def read_matrix_market(path: Union[str, Path]) -> sp.csc_matrix:
+    """Read a Matrix Market coordinate file into a CSC matrix.
+
+    Supports the ``matrix coordinate`` object with ``real``, ``integer`` or
+    ``pattern`` fields and ``general``, ``symmetric`` or
+    ``skew-symmetric`` symmetries.  Pattern entries get value 1.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().strip().lower().split()
+        if len(header) < 5 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+            raise ValueError(f"{path}: not a Matrix Market matrix file")
+        fmt, field, symmetry = header[2], header[3], header[4]
+        if fmt != "coordinate":
+            raise ValueError(f"{path}: only coordinate format is supported")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%") or not line.strip():
+            line = handle.readline()
+        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        count = 0
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            rows[count] = int(parts[0]) - 1
+            cols[count] = int(parts[1]) - 1
+            vals[count] = 1.0 if field == "pattern" else float(parts[2])
+            count += 1
+        if count != nnz:
+            raise ValueError(f"{path}: expected {nnz} entries, found {count}")
+
+    matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror = sp.coo_matrix(
+            (sign * vals[off_diag], (cols[off_diag], rows[off_diag])),
+            shape=(n_rows, n_cols),
+        )
+        matrix = matrix + mirror
+    return sp.csc_matrix(matrix)
+
+
+def write_matrix_market(
+    matrix: sp.spmatrix, path: Union[str, Path], *, symmetric: bool = False
+) -> None:
+    """Write a sparse matrix as a Matrix Market coordinate file.
+
+    When ``symmetric`` is True only the lower triangle is stored and the
+    header declares ``symmetric`` symmetry.
+    """
+    path = Path(path)
+    coo = sp.coo_matrix(matrix)
+    if symmetric:
+        keep = coo.row >= coo.col
+        coo = sp.coo_matrix(
+            (coo.data[keep], (coo.row[keep], coo.col[keep])), shape=coo.shape
+        )
+    symmetry = "symmetric" if symmetric else "general"
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate real {symmetry}\n")
+        handle.write("% written by repro.sparse.mmio\n")
+        handle.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            handle.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")

@@ -1,0 +1,133 @@
+"""Symbolic Cholesky factorization.
+
+Given the symmetrized pattern of a matrix and its elimination tree, this
+module computes
+
+* :func:`column_counts` -- the number of nonzeros of every column of the
+  Cholesky factor ``L`` (including the diagonal), the quantity the paper
+  calls ``mu`` when weighting assembly-tree nodes;
+* :func:`column_patterns` -- the full row pattern of every column of ``L``
+  (needed by the multifrontal numeric engine);
+* :func:`symbolic_stats` -- aggregate statistics (``nnz(L)``, factorization
+  flops) used by the experiment drivers.
+
+The column counts are obtained with the row-subtree algorithm: row ``i`` of
+``L`` is the set of columns encountered when climbing the elimination tree
+from every ``k`` with ``a_ik != 0, k < i`` up to ``i``; marking visited
+vertices per row makes the total work ``O(nnz(L))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .etree import elimination_tree, etree_children, etree_postorder
+from .graph import symmetrized_pattern
+
+__all__ = ["column_counts", "column_patterns", "SymbolicStats", "symbolic_stats"]
+
+
+def column_counts(
+    matrix: sp.spmatrix, parent: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Nonzero count of every column of ``L`` (diagonal included).
+
+    Parameters
+    ----------
+    matrix:
+        Square sparse matrix (pattern only is used, symmetrized internally).
+    parent:
+        Optional precomputed elimination-tree parent array.
+    """
+    pattern = symmetrized_pattern(matrix)
+    n = pattern.shape[0]
+    if parent is None:
+        parent = elimination_tree(pattern, symmetrize=False)
+    counts = np.ones(n, dtype=np.int64)  # the diagonal entries
+    marker = np.full(n, -1, dtype=np.int64)
+    indptr, indices = pattern.indptr, pattern.indices
+
+    for i in range(n):
+        marker[i] = i
+        for k in indices[indptr[i] : indptr[i + 1]]:
+            k = int(k)
+            if k >= i:
+                continue
+            # climb the row subtree of i
+            j = k
+            while marker[j] != i:
+                counts[j] += 1
+                marker[j] = i
+                j = int(parent[j])
+                if j < 0:
+                    break
+    return counts
+
+
+def column_patterns(
+    matrix: sp.spmatrix, parent: Optional[Sequence[int]] = None
+) -> List[np.ndarray]:
+    """Row pattern (strictly below the diagonal) of every column of ``L``.
+
+    The pattern of column ``j`` is the union of the below-diagonal pattern of
+    column ``j`` of ``A`` and of the patterns of its elimination-tree
+    children, minus the children themselves -- computed bottom-up.  The
+    output of column ``j`` is a sorted ``numpy`` array of row indices ``> j``.
+
+    This is quadratic in ``nnz(L)`` in the worst case and is intended for the
+    moderate-size matrices used by the multifrontal engine.
+    """
+    pattern = symmetrized_pattern(matrix)
+    n = pattern.shape[0]
+    if parent is None:
+        parent = elimination_tree(pattern, symmetrize=False)
+    children = etree_children(parent)
+    csc = sp.csc_matrix(pattern)
+    patterns: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+
+    for j in etree_postorder(parent):
+        j = int(j)
+        rows = csc.indices[csc.indptr[j] : csc.indptr[j + 1]]
+        below = set(int(r) for r in rows if r > j)
+        for child in children[j]:
+            below.update(int(r) for r in patterns[child] if r > j)
+        patterns[j] = np.asarray(sorted(below), dtype=np.int64)
+    return patterns
+
+
+@dataclass(frozen=True)
+class SymbolicStats:
+    """Aggregate results of the symbolic factorization."""
+
+    n: int
+    nnz_a: int
+    nnz_l: int
+    flops: float
+    max_column_count: int
+
+    @property
+    def fill_ratio(self) -> float:
+        """``nnz(L) / nnz(tril(A))`` -- the fill-in factor."""
+        return self.nnz_l / max(self.nnz_a, 1)
+
+
+def symbolic_stats(
+    matrix: sp.spmatrix, parent: Optional[Sequence[int]] = None
+) -> SymbolicStats:
+    """Size, fill and flop statistics of the Cholesky factorization."""
+    pattern = symmetrized_pattern(matrix)
+    n = pattern.shape[0]
+    counts = column_counts(pattern, parent)
+    nnz_lower_a = int((pattern.nnz + n) // 2)
+    flops = float(np.sum(counts.astype(np.float64) ** 2))
+    return SymbolicStats(
+        n=n,
+        nnz_a=nnz_lower_a,
+        nnz_l=int(np.sum(counts)),
+        flops=flops,
+        max_column_count=int(np.max(counts)) if n else 0,
+    )

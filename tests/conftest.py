@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree import Tree
+
+
+def make_random_tree(
+    n_nodes: int,
+    rng: random.Random,
+    *,
+    max_f: int = 10,
+    max_n: int = 5,
+    min_f: int = 0,
+    window: int | None = None,
+) -> Tree:
+    """Random tree used across many tests (uniform or windowed attachment)."""
+    tree = Tree()
+    tree.add_node(0, f=rng.randint(min_f, max_f), n=rng.randint(0, max_n))
+    for i in range(1, n_nodes):
+        low = 0 if window is None else max(0, i - window)
+        parent = rng.randint(low, i - 1)
+        tree.add_node(
+            i,
+            parent=parent,
+            f=rng.randint(max(min_f, 1), max_f),
+            n=rng.randint(0, max_n),
+        )
+    return tree
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20110527)
+
+
+@pytest.fixture
+def paper_figure1_tree() -> Tree:
+    """The replacement-model example of Figure 1 (left-hand side weights).
+
+    Root A (f=1) with children B, C, D (f = 1, 2, 1); C has children E (f=1),
+    F (f=2); D has children G (f=2), H (f=3).  Execution files are zero in
+    the replacement model.
+    """
+    tree = Tree()
+    tree.add_node("A", f=1.0, n=0.0)
+    tree.add_node("B", parent="A", f=1.0, n=0.0)
+    tree.add_node("C", parent="A", f=2.0, n=0.0)
+    tree.add_node("D", parent="A", f=1.0, n=0.0)
+    tree.add_node("E", parent="C", f=1.0, n=0.0)
+    tree.add_node("F", parent="C", f=2.0, n=0.0)
+    tree.add_node("G", parent="D", f=2.0, n=0.0)
+    tree.add_node("H", parent="D", f=3.0, n=0.0)
+    return tree
+
+
+@pytest.fixture
+def small_assembly_like_tree() -> Tree:
+    """A small tree with assembly-tree-like weights (f = cb, n = front - cb)."""
+    tree = Tree()
+    tree.add_node(0, f=0.0, n=25.0)        # root supernode, 5x5 front, no cb
+    tree.add_node(1, parent=0, f=9.0, n=16.0)
+    tree.add_node(2, parent=0, f=4.0, n=12.0)
+    tree.add_node(3, parent=1, f=4.0, n=5.0)
+    tree.add_node(4, parent=1, f=1.0, n=3.0)
+    tree.add_node(5, parent=2, f=1.0, n=3.0)
+    tree.add_node(6, parent=3, f=1.0, n=1.0)
+    return tree

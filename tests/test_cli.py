@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialize import save_tree
+from repro.generators.harpoon import harpoon_tree
+from repro.generators.synthetic import balanced_tree
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    path = tmp_path / "tree.json"
+    save_tree(harpoon_tree(3, memory=10.0, epsilon=1.0), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        assert parser.parse_args(["minmem", "x.json"]).command == "minmem"
+        assert parser.parse_args(["experiment", "fig5"]).which == "fig5"
+
+
+class TestMinMemCommand:
+    def test_prints_all_algorithms(self, tree_file, capsys):
+        assert main(["minmem", str(tree_file)]) == 0
+        out = capsys.readouterr().out
+        assert "PostOrder memory" in out
+        assert "Liu (optimal) memory" in out
+        assert "MinMem (optimal)" in out
+
+    def test_postorder_ratio_reported(self, tree_file, capsys):
+        main(["minmem", str(tree_file)])
+        out = capsys.readouterr().out
+        assert "PostOrder / optimal" in out
+
+
+class TestMinIOCommand:
+    def test_default_memory(self, tree_file, capsys):
+        assert main(["minio", str(tree_file)]) == 0
+        out = capsys.readouterr().out
+        for name in ("lsnf", "first_fit", "best_fit", "first_fill", "best_fill"):
+            assert name in out
+
+    def test_explicit_memory(self, tree_file, capsys):
+        assert main(["minio", str(tree_file), "--memory", "100", "--algorithm", "PostOrder"]) == 0
+        assert "IO volume" in capsys.readouterr().out
+
+    def test_too_small_memory_fails(self, tree_file, capsys):
+        assert main(["minio", str(tree_file), "--memory", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDatasetCommand:
+    def test_writes_trees(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        assert main(["dataset", "--scale", "tiny", "--output", str(out_dir), "--kind", "assembly"]) == 0
+        files = list(out_dir.glob("*.json"))
+        assert files, "dataset files should have been written"
+        data = json.loads(files[0].read_text())
+        assert "nodes" in data
+
+
+class TestExperimentCommand:
+    def test_harpoon_experiment(self, capsys):
+        assert main(["experiment", "harpoon"]) == 0
+        out = capsys.readouterr().out
+        assert "levels" in out
+        assert "ratio" in out

@@ -1,0 +1,99 @@
+"""Unit tests for the elimination tree construction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.tree import Tree
+from repro.sparse.etree import (
+    elimination_tree,
+    etree_children,
+    etree_heights,
+    etree_postorder,
+    etree_to_task_tree,
+)
+from repro.sparse.matrices import banded_spd, grid_laplacian_2d, random_spd
+
+
+def reference_etree(matrix):
+    """Parent array from the dense Cholesky pattern (ground truth)."""
+    dense = sp.csc_matrix(matrix).toarray()
+    n = dense.shape[0]
+    l = np.linalg.cholesky(dense + np.eye(n) * 1e-9)
+    pattern = np.abs(l) > 1e-10
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.nonzero(pattern[:, j])[0]
+        below = below[below > j]
+        if below.size:
+            parent[j] = below.min()
+    return parent
+
+
+class TestEliminationTree:
+    @pytest.mark.parametrize(
+        "matrix",
+        [grid_laplacian_2d(5), banded_spd(30, 3, seed=2), random_spd(40, 0.08, seed=9)],
+        ids=["grid", "banded", "random"],
+    )
+    def test_matches_dense_reference(self, matrix):
+        assert np.array_equal(elimination_tree(matrix), reference_etree(matrix))
+
+    def test_parent_always_larger(self):
+        parent = elimination_tree(grid_laplacian_2d(8))
+        for j, p in enumerate(parent):
+            assert p == -1 or p > j
+
+    def test_chain_for_tridiagonal(self):
+        n = 12
+        a = sp.diags([np.ones(n - 1), 4 * np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        parent = elimination_tree(sp.csc_matrix(a))
+        assert np.array_equal(parent[:-1], np.arange(1, n))
+        assert parent[-1] == -1
+
+    def test_diagonal_matrix_forest(self):
+        a = sp.identity(5, format="csc")
+        parent = elimination_tree(a)
+        assert np.all(parent == -1)
+
+
+class TestHelpers:
+    def test_children_inverse_of_parent(self):
+        parent = elimination_tree(grid_laplacian_2d(6))
+        children = etree_children(parent)
+        for v, p in enumerate(parent):
+            if p >= 0:
+                assert v in children[p]
+
+    def test_postorder_is_valid(self):
+        parent = elimination_tree(grid_laplacian_2d(6))
+        order = etree_postorder(parent)
+        assert sorted(order.tolist()) == list(range(len(parent)))
+        pos = np.empty(len(parent), dtype=int)
+        pos[order] = np.arange(len(parent))
+        for v, p in enumerate(parent):
+            if p >= 0:
+                assert pos[v] < pos[p]
+
+    def test_heights(self):
+        n = 6
+        a = sp.diags([np.ones(n - 1), 4 * np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        parent = elimination_tree(sp.csc_matrix(a))
+        heights = etree_heights(parent)
+        assert heights[-1] == n - 1
+        assert heights[0] == 0
+
+    def test_to_task_tree_single_root(self):
+        parent = elimination_tree(grid_laplacian_2d(4))
+        tree = etree_to_task_tree(parent, f=[1.0] * 16, n_weights=[2.0] * 16)
+        assert isinstance(tree, Tree)
+        assert tree.size == 16
+        assert tree.f(0) == 1.0 and tree.n(0) == 2.0
+
+    def test_to_task_tree_forest_gets_super_root(self):
+        a = sp.identity(4, format="csc")
+        parent = elimination_tree(a)
+        tree = etree_to_task_tree(parent)
+        assert tree.size == 5
+        assert tree.root == -1
+        assert len(tree.children(-1)) == 4

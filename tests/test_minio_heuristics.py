@@ -1,0 +1,130 @@
+"""Unit tests for the six eviction heuristics (selection logic only)."""
+
+import pytest
+
+from repro.core.minio.heuristics import (
+    HEURISTICS,
+    get_heuristic,
+    select_best_fill,
+    select_best_fit,
+    select_best_k_combination,
+    select_first_fill,
+    select_first_fit,
+    select_lsnf,
+)
+
+# candidates are (node, size) pairs ordered latest-scheduled-first
+CANDS = [("a", 4.0), ("b", 2.0), ("c", 7.0), ("d", 1.0), ("e", 3.0)]
+
+
+def total(victims, cands=CANDS):
+    sizes = dict(cands)
+    return sum(sizes[v] for v in victims)
+
+
+class TestLSNF:
+    def test_takes_prefix(self):
+        assert select_lsnf(CANDS, 5.0) == ["a", "b"]
+
+    def test_zero_requirement(self):
+        assert select_lsnf(CANDS, 0.0) == []
+
+    def test_takes_all_if_needed(self):
+        assert select_lsnf(CANDS, 100.0) == [v for v, _ in CANDS]
+
+
+class TestFirstFit:
+    def test_picks_first_large_enough(self):
+        assert select_first_fit(CANDS, 3.5) == ["a"]
+        assert select_first_fit(CANDS, 5.0) == ["c"]
+
+    def test_falls_back_to_lsnf(self):
+        assert select_first_fit(CANDS, 10.0) == select_lsnf(CANDS, 10.0)
+
+    def test_zero_requirement(self):
+        assert select_first_fit(CANDS, 0.0) == []
+
+
+class TestBestFit:
+    def test_picks_closest(self):
+        # need 6.5 -> closest single size is 7 (c)
+        assert select_best_fit(CANDS, 6.5) == ["c"]
+
+    def test_repeats_until_enough(self):
+        victims = select_best_fit(CANDS, 8.0)
+        assert total(victims) >= 8.0
+
+    def test_tie_prefers_earlier_candidate(self):
+        cands = [("x", 2.0), ("y", 2.0)]
+        assert select_best_fit(cands, 2.0) == ["x"]
+
+
+class TestFirstFill:
+    def test_picks_first_smaller(self):
+        # need 3.5: first file strictly smaller is b (2.0); then need 1.5 -> d (1.0);
+        # then need 0.5 -> no strictly smaller file, LSNF on remainder takes a (4.0)
+        victims = select_first_fill(CANDS, 3.5)
+        assert victims[:2] == ["b", "d"]
+        assert total(victims) >= 3.5
+
+    def test_falls_back_to_lsnf_when_no_small_file(self):
+        cands = [("a", 5.0), ("b", 6.0)]
+        assert select_first_fill(cands, 3.0) == ["a"]
+
+    def test_enough_freed(self):
+        for need in (1.0, 4.0, 9.0, 16.0):
+            assert total(select_first_fill(CANDS, need)) >= min(need, total([v for v, _ in CANDS]))
+
+
+class TestBestFill:
+    def test_picks_largest_below_requirement(self):
+        # need 6.5: files < 6.5 are 4,2,1,3 -> best fill is 4 (a); then need 2.5 -> 2 (b)...
+        victims = select_best_fill(CANDS, 6.5)
+        assert victims[0] == "a"
+        assert total(victims) >= 6.5
+
+    def test_falls_back_to_lsnf(self):
+        cands = [("a", 10.0)]
+        assert select_best_fill(cands, 2.0) == ["a"]
+
+
+class TestBestKCombination:
+    def test_exact_subset(self):
+        # need 5 -> subset {a(4), d(1)} or {b(2), e(3)} sums exactly to 5
+        victims = select_best_k_combination(CANDS, 5.0)
+        assert total(victims) == pytest.approx(5.0)
+
+    def test_k_limits_window(self):
+        cands = [("a", 1.0), ("b", 1.0), ("c", 1.0), ("d", 100.0)]
+        victims = select_best_k_combination(cands, 100.0, k=3)
+        # the window only sees a, b, c first, so it must evict them before d
+        assert set(victims) >= {"a", "b", "c"}
+        assert total(victims, cands) >= 100.0
+
+    def test_progress_and_coverage(self):
+        for need in (0.5, 2.0, 6.0, 17.0):
+            victims = select_best_k_combination(CANDS, need)
+            assert total(victims) >= min(need, 17.0) - 1e-9
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(HEURISTICS) == {
+            "lsnf",
+            "first_fit",
+            "best_fit",
+            "first_fill",
+            "best_fill",
+            "best_k_combination",
+        }
+
+    def test_get_heuristic(self):
+        assert get_heuristic("lsnf") is select_lsnf
+        with pytest.raises(ValueError):
+            get_heuristic("nope")
+
+    def test_every_heuristic_frees_enough(self):
+        for name, selector in HEURISTICS.items():
+            for need in (0.5, 3.0, 8.0, 17.0):
+                victims = selector(CANDS, need)
+                assert total(victims) >= min(need, 17.0) - 1e-9, name

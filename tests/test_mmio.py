@@ -1,0 +1,93 @@
+"""Unit tests for the Matrix Market reader/writer."""
+
+import numpy as np
+import pytest
+import scipy.io
+import scipy.sparse as sp
+
+from repro.sparse.matrices import grid_laplacian_2d, random_spd
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_general_roundtrip(self, tmp_path):
+        a = random_spd(25, density=0.1, seed=3)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(a, path)
+        b = read_matrix_market(path)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_symmetric_roundtrip(self, tmp_path):
+        a = grid_laplacian_2d(5)
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(a, path, symmetric=True)
+        b = read_matrix_market(path)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_matches_scipy_reader(self, tmp_path):
+        a = random_spd(20, density=0.15, seed=9)
+        path = tmp_path / "cmp.mtx"
+        write_matrix_market(a, path, symmetric=True)
+        ours = read_matrix_market(path)
+        scipys = sp.csc_matrix(scipy.io.mmread(str(path)))
+        assert np.allclose(ours.toarray(), scipys.toarray())
+
+    def test_reads_scipy_output(self, tmp_path):
+        a = random_spd(20, density=0.15, seed=10)
+        path = tmp_path / "scipy.mtx"
+        scipy.io.mmwrite(str(path), sp.coo_matrix(a))
+        ours = read_matrix_market(path)
+        assert np.allclose(ours.toarray(), a.toarray())
+
+
+class TestFormats:
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "pattern.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 4\n"
+            "1 1\n2 2\n3 3\n3 1\n"
+        )
+        a = read_matrix_market(path)
+        assert a[0, 0] == 1.0
+        assert a[2, 0] == 1.0 and a[0, 2] == 1.0
+
+    def test_integer_field_and_comments(self, tmp_path):
+        path = tmp_path / "int.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "% a comment line\n"
+            "2 2 3\n"
+            "1 1 4\n2 2 5\n2 1 -1\n"
+        )
+        a = read_matrix_market(path)
+        assert a[1, 0] == -1.0
+        assert a[0, 0] == 4.0
+
+    def test_skew_symmetric(self, tmp_path):
+        path = tmp_path / "skew.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        a = read_matrix_market(path)
+        assert a[1, 0] == 3.0 and a[0, 1] == -3.0
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix market file\n1 1 1\n1 1 1\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_wrong_entry_count(self, tmp_path):
+        path = tmp_path / "short.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)

@@ -1,0 +1,77 @@
+"""Unit tests for the Dolan--Moré performance profiles."""
+
+import math
+
+import pytest
+
+from repro.analysis.performance_profiles import (
+    ascii_profile,
+    format_profile_table,
+    performance_profile,
+)
+
+
+class TestPerformanceProfile:
+    def test_simple_two_methods(self):
+        results = {"a": [1.0, 2.0, 4.0], "b": [2.0, 2.0, 2.0]}
+        profile = performance_profile(results)
+        # 'a' is best on instances 0 and 2... wait: best values are 1, 2, 2
+        # ratios a: [1, 1, 2]; b: [2, 1, 1]
+        assert profile.value("a", 1.0) == pytest.approx(2 / 3)
+        assert profile.value("b", 1.0) == pytest.approx(2 / 3)
+        assert profile.value("a", 2.0) == pytest.approx(1.0)
+        assert profile.value("b", 2.0) == pytest.approx(1.0)
+        assert profile.fraction_best("a") == pytest.approx(2 / 3)
+
+    def test_ratios_stored(self):
+        profile = performance_profile({"x": [3.0], "y": [1.5]})
+        assert profile.ratios["x"] == (2.0,)
+        assert profile.ratios["y"] == (1.0,)
+
+    def test_zero_best_convention(self):
+        profile = performance_profile({"x": [0.0, 0.0], "y": [0.0, 3.0]})
+        assert profile.value("x", 1.0) == 1.0
+        assert profile.value("y", 1.0) == 0.5
+        assert math.isinf(profile.ratios["y"][1])
+
+    def test_failures_are_infinite(self):
+        profile = performance_profile({"x": [math.inf, 1.0], "y": [1.0, 1.0]})
+        assert profile.value("x", 1e9) == 0.5
+
+    def test_custom_taus(self):
+        profile = performance_profile({"a": [1.0, 3.0], "b": [1.0, 1.0]}, taus=[1.0, 2.0, 3.0])
+        assert profile.taus == (1.0, 2.0, 3.0)
+        assert profile.curves["a"] == (0.5, 0.5, 1.0)
+        assert profile.curves["b"] == (1.0, 1.0, 1.0)
+
+    def test_area_orders_methods(self):
+        profile = performance_profile({"good": [1.0, 1.0, 1.0], "bad": [5.0, 5.0, 5.0]})
+        assert profile.area("good") > profile.area("bad")
+
+    def test_monotone_curves(self):
+        profile = performance_profile({"a": [1.0, 4.0, 2.0, 8.0], "b": [2.0, 1.0, 1.0, 9.0]})
+        for method in profile.methods:
+            curve = profile.curves[method]
+            assert all(x <= y + 1e-12 for x, y in zip(curve, curve[1:]))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            performance_profile({})
+        with pytest.raises(ValueError):
+            performance_profile({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            performance_profile({"a": []})
+
+
+class TestRendering:
+    def test_format_table_contains_methods(self):
+        profile = performance_profile({"alpha": [1.0, 2.0], "beta": [2.0, 1.0]})
+        table = format_profile_table(profile)
+        assert "alpha" in table and "beta" in table
+        assert "tau=1" in table
+
+    def test_ascii_profile(self):
+        profile = performance_profile({"m1": [1.0, 2.0], "m2": [2.0, 1.0]})
+        art = ascii_profile(profile, width=30, height=6)
+        assert "m1" in art and "m2" in art
+        assert "tau:" in art

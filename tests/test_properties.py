@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) on the core invariants of the library.
+
+Each property mirrors a structural fact used in the paper:
+
+* reversal maps valid bottom-up traversals to valid top-down traversals with
+  the same peak memory (Section III-C);
+* ``PostOrder >= Liu = MinMem >= max MemReq`` on every tree;
+* the replacement-model and Liu-model reductions preserve the memory
+  semantics they encode;
+* out-of-core schedules produced by every heuristic are accepted by the
+  paper's Algorithm 2 with the advertised I/O volume, which never drops below
+  the lower bounds;
+* serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builders import from_parent_list, from_replacement_model
+from repro.core.liu import liu_min_memory, liu_optimal_traversal
+from repro.core.minio import (
+    HEURISTICS,
+    divisible_lower_bound,
+    memory_deficit_lower_bound,
+    run_out_of_core,
+)
+from repro.core.minmem import min_mem
+from repro.core.postorder import best_postorder, postorder_with_rule
+from repro.core.serialize import tree_from_dict, tree_to_dict
+from repro.core.traversal import (
+    check_in_core,
+    check_out_of_core,
+    is_postorder,
+    is_topological,
+    peak_memory,
+)
+from repro.core.tree import Tree
+
+
+@st.composite
+def task_trees(draw, max_nodes: int = 24, max_f: int = 12, max_n: int = 6):
+    """Random task trees: random parent attachment plus integer weights."""
+    size = draw(st.integers(min_value=1, max_value=max_nodes))
+    f = [draw(st.integers(min_value=0, max_value=max_f))]
+    n = [draw(st.integers(min_value=0, max_value=max_n))]
+    parents = [None]
+    for i in range(1, size):
+        parents.append(draw(st.integers(min_value=0, max_value=i - 1)))
+        f.append(draw(st.integers(min_value=0, max_value=max_f)))
+        n.append(draw(st.integers(min_value=0, max_value=max_n)))
+    return from_parent_list(parents, f=f, n=n)
+
+
+@st.composite
+def trees_with_memory(draw):
+    """A tree plus a feasible main-memory size for out-of-core experiments."""
+    tree = draw(task_trees(max_nodes=16))
+    slack = draw(st.integers(min_value=0, max_value=20))
+    return tree, tree.max_mem_req() + slack
+
+
+class TestMinMemoryProperties:
+    @given(task_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_algorithm_ordering(self, tree: Tree):
+        """max MemReq <= Liu = MinMem <= PostOrder for every tree."""
+        liu = liu_min_memory(tree)
+        minmem = min_mem(tree).memory
+        postorder = best_postorder(tree).memory
+        assert liu == min(liu, minmem, postorder)
+        assert abs(liu - minmem) <= 1e-9 * max(1.0, liu)
+        assert tree.max_mem_req() <= liu + 1e-9
+        assert postorder >= liu - 1e-9
+
+    @given(task_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_witness_traversals(self, tree: Tree):
+        """Every solver returns a feasible traversal matching its value."""
+        for result_memory, traversal in (
+            (best_postorder(tree).memory, best_postorder(tree).traversal),
+            (liu_optimal_traversal(tree).memory, liu_optimal_traversal(tree).traversal),
+            (min_mem(tree).memory, min_mem(tree).traversal),
+        ):
+            assert is_topological(tree, traversal)
+            assert peak_memory(tree, traversal) == peak_memory(tree, traversal.reversed())
+            assert abs(peak_memory(tree, traversal) - result_memory) <= 1e-9
+            assert check_in_core(tree, result_memory, traversal)
+            assert not check_in_core(tree, result_memory - 1e-3, traversal) or (
+                result_memory - 1e-3 >= peak_memory(tree, traversal)
+            )
+
+    @given(task_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_postorder_traversals_are_postorders(self, tree: Tree):
+        for rule in ("liu", "subtree_memory", "natural"):
+            result = postorder_with_rule(tree, rule)
+            assert is_postorder(tree, result.traversal)
+
+    @given(task_trees(max_nodes=16))
+    @settings(max_examples=60, deadline=None)
+    def test_replacement_model_reduction(self, tree: Tree):
+        """MemReq under the reduction equals max(f_i, sum of children files)."""
+        reduced = from_replacement_model(tree)
+        for node in tree.nodes():
+            expected = max(tree.f(node), sum(tree.f(c) for c in tree.children(node)))
+            assert reduced.mem_req(node) == expected
+
+    @given(task_trees(max_nodes=20))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_scaling(self, tree: Tree):
+        """Scaling every file size by a constant scales the optimum."""
+        scaled = tree.copy()
+        for node in scaled.nodes():
+            scaled.set_f(node, 3.0 * tree.f(node))
+            scaled.set_n(node, 3.0 * tree.n(node))
+        assert liu_min_memory(scaled) == 3.0 * liu_min_memory(tree)
+
+
+class TestMinIOProperties:
+    @given(trees_with_memory(), st.sampled_from(sorted(HEURISTICS)))
+    @settings(max_examples=100, deadline=None)
+    def test_schedules_valid_and_bounded(self, tree_memory, heuristic):
+        tree, memory = tree_memory
+        result = min_mem(tree)
+        out = run_out_of_core(tree, memory, result.traversal, heuristic)
+        ok, io = check_out_of_core(tree, memory, out.schedule)
+        assert ok
+        assert io == out.io_volume
+        assert out.io_volume <= tree.total_file_size() + 1e-9
+        assert out.io_volume >= memory_deficit_lower_bound(tree, memory) - 1e-9
+        assert out.io_volume >= divisible_lower_bound(tree, memory, result.traversal) - 1e-9
+        if memory >= result.memory:
+            assert out.io_volume == 0.0
+
+    @given(trees_with_memory())
+    @settings(max_examples=60, deadline=None)
+    def test_lsnf_matches_divisible_bound_for_unit_files(self, tree_memory):
+        """With unit files the divisible bound is achieved exactly by LSNF."""
+        tree, _ = tree_memory
+        unit = tree.copy()
+        for node in unit.nodes():
+            unit.set_f(node, 1.0)
+            unit.set_n(node, 0.0)
+        traversal = min_mem(unit).traversal
+        memory = unit.max_mem_req()
+        lsnf = run_out_of_core(unit, memory, traversal, "lsnf").io_volume
+        bound = divisible_lower_bound(unit, memory, traversal)
+        assert lsnf == bound
+
+
+class TestSerializationProperties:
+    @given(task_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_tree_roundtrip(self, tree: Tree):
+        assert tree_from_dict(tree_to_dict(tree)) == tree

@@ -1,0 +1,79 @@
+"""Unit tests for the random tree generators."""
+
+import pytest
+
+from repro.core.builders import chain_tree
+from repro.generators.random_trees import (
+    random_attachment_tree,
+    random_binary_tree,
+    random_caterpillar,
+    random_recent_attachment_tree,
+    reweight_random,
+)
+
+
+class TestReweight:
+    def test_preserves_shape(self):
+        base = chain_tree(50, f=1.0, n=0.0)
+        rw = reweight_random(base, seed=3)
+        assert rw.size == base.size
+        for v in base.nodes():
+            assert rw.parent(v) == base.parent(v)
+
+    def test_weight_ranges(self):
+        base = random_attachment_tree(600, seed=1)
+        rw = reweight_random(base, seed=2)
+        n_high = max(1, 600 // 500)
+        for v in rw.nodes():
+            assert 1 <= rw.n(v) <= n_high
+            if v != rw.root:
+                assert 1 <= rw.f(v) <= 600
+
+    def test_root_zero_file_preserved(self):
+        base = random_attachment_tree(100, seed=4)  # root f = 0
+        rw = reweight_random(base, seed=5)
+        assert rw.f(rw.root) == 0.0
+
+    def test_deterministic(self):
+        base = random_attachment_tree(80, seed=6)
+        assert reweight_random(base, seed=7) == reweight_random(base, seed=7)
+        assert reweight_random(base, seed=7) != reweight_random(base, seed=8)
+
+
+class TestShapes:
+    def test_attachment_tree_valid(self):
+        t = random_attachment_tree(200, seed=1)
+        t.validate()
+        assert t.size == 200
+
+    def test_recent_attachment_is_deeper(self):
+        shallow = random_attachment_tree(400, seed=2)
+        deep = random_recent_attachment_tree(400, seed=2, window=4)
+        assert deep.height() > shallow.height()
+
+    def test_binary_tree_structure(self):
+        t = random_binary_tree(50, seed=3)
+        t.validate()
+        leaves = t.leaves()
+        assert len(leaves) == 50
+        for v in t.nodes():
+            assert len(t.children(v)) in (0, 2)
+
+    def test_caterpillar(self):
+        t = random_caterpillar(30, seed=4, max_leaves=3)
+        t.validate()
+        assert t.size >= 30
+        # the spine is a path from the root
+        assert t.height() >= 29
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            random_attachment_tree(0)
+        with pytest.raises(ValueError):
+            random_binary_tree(0)
+        with pytest.raises(ValueError):
+            random_caterpillar(0)
+
+    def test_determinism(self):
+        assert random_attachment_tree(60, seed=9) == random_attachment_tree(60, seed=9)
+        assert random_binary_tree(20, seed=9) == random_binary_tree(20, seed=9)

@@ -1,0 +1,58 @@
+"""Unit tests for tree and traversal serialization."""
+
+import pytest
+
+from repro.core.builders import from_parent_list
+from repro.core.serialize import (
+    load_tree,
+    save_tree,
+    traversal_from_dict,
+    traversal_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.core.traversal import BOTTOMUP, TOPDOWN, Traversal
+from repro.core.tree import TreeValidationError
+
+from .conftest import make_random_tree
+
+
+class TestTreeSerialization:
+    def test_roundtrip_dict(self, rng):
+        for _ in range(20):
+            t = make_random_tree(rng.randint(1, 30), rng)
+            assert tree_from_dict(tree_to_dict(t)) == t
+
+    def test_roundtrip_file(self, tmp_path):
+        t = from_parent_list([None, 0, 0, 1], f=[1, 2, 3, 4], n=[0, 1, 2, 3])
+        path = tmp_path / "tree.json"
+        save_tree(t, path)
+        assert load_tree(path) == t
+
+    def test_string_node_ids(self, tmp_path):
+        from repro.generators.harpoon import harpoon_tree
+
+        t = harpoon_tree(3)
+        path = tmp_path / "harpoon.json"
+        save_tree(t, path)
+        assert load_tree(path) == t
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(TreeValidationError):
+            tree_from_dict({"schema": 99, "root": 0, "nodes": []})
+
+
+class TestTraversalSerialization:
+    def test_roundtrip(self):
+        trav = Traversal((3, 1, 2, 0), BOTTOMUP)
+        assert traversal_from_dict(traversal_to_dict(trav)) == trav
+
+    def test_convention_preserved(self):
+        trav = Traversal((0, 1), TOPDOWN)
+        data = traversal_to_dict(trav)
+        assert data["convention"] == TOPDOWN
+        assert traversal_from_dict(data).convention == TOPDOWN
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(TreeValidationError):
+            traversal_from_dict({"schema": 0, "convention": TOPDOWN, "order": []})

@@ -1,0 +1,50 @@
+"""Unit tests for the Table I / Table II statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import format_ratio_table, ratio_statistics
+
+
+class TestRatioStatistics:
+    def test_all_optimal(self):
+        stats = ratio_statistics([10.0, 20.0], [10.0, 20.0])
+        assert stats.non_optimal_fraction == 0.0
+        assert stats.optimal_fraction == 1.0
+        assert stats.max_ratio == pytest.approx(1.0)
+        assert stats.mean_ratio == pytest.approx(1.0)
+        assert stats.std_ratio == pytest.approx(0.0)
+        assert stats.count == 2
+
+    def test_paper_like_numbers(self):
+        values = [1.0, 1.0, 1.0, 1.18]
+        refs = [1.0, 1.0, 1.0, 1.0]
+        stats = ratio_statistics(values, refs)
+        assert stats.non_optimal_fraction == pytest.approx(0.25)
+        assert stats.max_ratio == pytest.approx(1.18)
+        assert stats.mean_ratio == pytest.approx((3 + 1.18) / 4)
+
+    def test_zero_reference(self):
+        stats = ratio_statistics([0.0, 1.0], [0.0, 0.0])
+        assert stats.max_ratio == math.inf
+        assert stats.non_optimal_fraction == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_statistics([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ratio_statistics([], [])
+
+    def test_tolerance(self):
+        stats = ratio_statistics([1.0 + 1e-12], [1.0])
+        assert stats.non_optimal_fraction == 0.0
+
+
+class TestFormatting:
+    def test_format_table(self):
+        stats = ratio_statistics([1.0, 1.2], [1.0, 1.0])
+        text = format_ratio_table(stats, method="PostOrder")
+        assert "Non optimal PostOrder traversals" in text
+        assert "50.0%" in text
+        assert "1.20" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the symbolic Cholesky factorization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.etree import elimination_tree
+from repro.sparse.matrices import banded_spd, grid_laplacian_2d, random_spd
+from repro.sparse.symbolic import column_counts, column_patterns, symbolic_stats
+
+
+def dense_factor_pattern(matrix):
+    dense = sp.csc_matrix(matrix).toarray()
+    l = np.linalg.cholesky(dense)
+    return np.abs(l) > 1e-10
+
+
+class TestColumnCounts:
+    @pytest.mark.parametrize(
+        "matrix",
+        [grid_laplacian_2d(5), banded_spd(25, 3, seed=1), random_spd(35, 0.08, seed=2)],
+        ids=["grid", "banded", "random"],
+    )
+    def test_matches_dense_factor(self, matrix):
+        pattern = dense_factor_pattern(matrix)
+        expected = pattern.sum(axis=0)
+        assert np.array_equal(column_counts(matrix), expected)
+
+    def test_accepts_precomputed_parent(self):
+        a = grid_laplacian_2d(6)
+        parent = elimination_tree(a)
+        assert np.array_equal(column_counts(a), column_counts(a, parent))
+
+    def test_diagonal_matrix(self):
+        a = sp.identity(7, format="csc")
+        assert np.array_equal(column_counts(a), np.ones(7, dtype=np.int64))
+
+    def test_last_column_count_is_one(self):
+        a = grid_laplacian_2d(5)
+        assert column_counts(a)[-1] == 1
+
+
+class TestColumnPatterns:
+    @pytest.mark.parametrize(
+        "matrix",
+        [grid_laplacian_2d(4), banded_spd(20, 2, seed=3)],
+        ids=["grid", "banded"],
+    )
+    def test_matches_dense_factor(self, matrix):
+        ref = dense_factor_pattern(matrix)
+        patterns = column_patterns(matrix)
+        for j, rows in enumerate(patterns):
+            expected = np.nonzero(ref[:, j])[0]
+            expected = expected[expected > j]
+            assert np.array_equal(rows, expected), f"column {j}"
+
+    def test_consistent_with_counts(self):
+        a = grid_laplacian_2d(5)
+        counts = column_counts(a)
+        patterns = column_patterns(a)
+        for j in range(a.shape[0]):
+            assert len(patterns[j]) + 1 == counts[j]
+
+
+class TestStats:
+    def test_nnz_and_flops(self):
+        a = grid_laplacian_2d(5)
+        stats = symbolic_stats(a)
+        counts = column_counts(a)
+        assert stats.nnz_l == counts.sum()
+        assert stats.flops == pytest.approx(float(np.sum(counts.astype(float) ** 2)))
+        assert stats.max_column_count == counts.max()
+        assert stats.n == 25
+
+    def test_fill_ratio_at_least_one(self):
+        for matrix in (grid_laplacian_2d(6), random_spd(30, 0.1, seed=5)):
+            assert symbolic_stats(matrix).fill_ratio >= 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic synthetic tree shapes."""
+
+import pytest
+
+from repro.core.liu import liu_min_memory
+from repro.generators.synthetic import (
+    balanced_tree,
+    bamboo_with_bushes,
+    broom_tree,
+    full_binary_expression_tree,
+)
+
+
+class TestBalancedTree:
+    def test_size(self):
+        t = balanced_tree(2, 3)
+        assert t.size == 15
+        t = balanced_tree(3, 2)
+        assert t.size == 13
+
+    def test_depth_zero_is_single_node(self):
+        assert balanced_tree(4, 0).size == 1
+
+    def test_uniform_weights(self):
+        t = balanced_tree(2, 2, f=3.0, n=1.0)
+        assert all(t.f(v) == 3.0 and t.n(v) == 1.0 for v in t.nodes())
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2)
+        with pytest.raises(ValueError):
+            balanced_tree(2, -1)
+
+
+class TestBroomAndBamboo:
+    def test_broom(self):
+        t = broom_tree(5, 4)
+        assert t.size == 9
+        assert len(t.children(4)) == 4
+        assert t.height() == 5
+
+    def test_broom_invalid(self):
+        with pytest.raises(ValueError):
+            broom_tree(0, 3)
+
+    def test_bamboo_with_bushes(self):
+        t = bamboo_with_bushes(4, 3)
+        assert t.size == 4 + 4 * 3
+        for i in range(4):
+            assert len(t.children(i)) >= 3
+
+    def test_bamboo_invalid(self):
+        with pytest.raises(ValueError):
+            bamboo_with_bushes(0, 1)
+
+
+class TestExpressionTree:
+    def test_structure(self):
+        t = full_binary_expression_tree(3)
+        assert t.size == 15
+        assert all(t.f(v) == 1.0 and t.n(v) == 0.0 for v in t.nodes())
+
+    def test_memory_grows_with_depth(self):
+        memories = [liu_min_memory(full_binary_expression_tree(d)) for d in range(1, 5)]
+        assert all(a <= b for a, b in zip(memories, memories[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            full_binary_expression_tree(-1)

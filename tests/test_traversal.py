@@ -1,0 +1,202 @@
+"""Unit tests for traversal objects, checkers (Algorithms 1-2) and the
+memory simulator."""
+
+import random
+
+import pytest
+
+from repro.core.builders import chain_tree, from_parent_list, star_tree
+from repro.core.traversal import (
+    BOTTOMUP,
+    TOPDOWN,
+    OutOfCoreSchedule,
+    Traversal,
+    TraversalError,
+    check_in_core,
+    check_out_of_core,
+    is_postorder,
+    is_topological,
+    memory_profile,
+    peak_memory,
+)
+from repro.core.tree import Tree
+
+from .conftest import make_random_tree
+
+
+def two_level_tree():
+    # root 0 (f=1, n=0); children 1 (f=2), 2 (f=3); 1 has child 3 (f=4)
+    return from_parent_list([None, 0, 0, 1], f=[1, 2, 3, 4], n=[0, 0, 0, 0])
+
+
+class TestTraversalObject:
+    def test_reject_unknown_convention(self):
+        with pytest.raises(TraversalError):
+            Traversal((0, 1), "sideways")
+
+    def test_reversed_swaps_convention(self):
+        t = Traversal((0, 1, 2), TOPDOWN)
+        r = t.reversed()
+        assert r.convention == BOTTOMUP
+        assert r.order == (2, 1, 0)
+        assert r.reversed() == t
+
+    def test_as_convention(self):
+        t = Traversal((0, 1, 2), TOPDOWN)
+        assert t.as_convention(TOPDOWN) is t
+        assert t.as_convention(BOTTOMUP).order == (2, 1, 0)
+        with pytest.raises(TraversalError):
+            t.as_convention("weird")
+
+    def test_position(self):
+        t = Traversal((5, 3, 7), TOPDOWN)
+        assert t.position() == {5: 0, 3: 1, 7: 2}
+
+
+class TestTopologicalAndPostorder:
+    def test_topdown_topological(self):
+        tree = two_level_tree()
+        assert is_topological(tree, Traversal((0, 1, 2, 3), TOPDOWN))
+        assert is_topological(tree, Traversal((0, 2, 1, 3), TOPDOWN))
+        assert not is_topological(tree, Traversal((1, 0, 2, 3), TOPDOWN))
+
+    def test_bottomup_topological(self):
+        tree = two_level_tree()
+        assert is_topological(tree, Traversal((3, 1, 2, 0), BOTTOMUP))
+        assert not is_topological(tree, Traversal((0, 3, 1, 2), BOTTOMUP))
+
+    def test_not_a_permutation(self):
+        tree = two_level_tree()
+        with pytest.raises(TraversalError):
+            is_topological(tree, Traversal((0, 1, 2), TOPDOWN))
+        with pytest.raises(TraversalError):
+            is_topological(tree, Traversal((0, 1, 2, 2), TOPDOWN))
+
+    def test_postorder_detection(self):
+        tree = two_level_tree()
+        # 0, then whole subtree of 1, then 2  -> postorder
+        assert is_postorder(tree, Traversal((0, 1, 3, 2), TOPDOWN))
+        # interleaves subtree of 1 and node 2 -> not a postorder
+        assert not is_postorder(tree, Traversal((0, 1, 2, 3), TOPDOWN))
+
+
+class TestMemoryProfile:
+    def test_chain_topdown(self):
+        tree = chain_tree(3, f=2.0, n=1.0)
+        profile = memory_profile(tree, Traversal((0, 1, 2), TOPDOWN))
+        # step 0: resident 2 (root file), peak 2 + 1 + 2 = 5
+        assert profile.steps[0].peak_during == pytest.approx(5.0)
+        # after the last node nothing remains
+        assert profile.steps[-1].resident_after == pytest.approx(0.0)
+        assert profile.peak == pytest.approx(5.0)
+
+    def test_chain_bottomup_matches_reverse(self):
+        tree = chain_tree(4, f=3.0, n=0.5)
+        top = Traversal((0, 1, 2, 3), TOPDOWN)
+        assert peak_memory(tree, top) == pytest.approx(peak_memory(tree, top.reversed()))
+
+    def test_star_peak(self):
+        tree = star_tree(3, root_f=1.0, leaf_f=2.0)
+        top = Traversal((0, 1, 2, 3), TOPDOWN)
+        # processing the root needs 1 + 3*2 = 7
+        assert peak_memory(tree, top) == pytest.approx(7.0)
+
+    def test_invalid_traversal_raises(self):
+        tree = two_level_tree()
+        with pytest.raises(TraversalError):
+            memory_profile(tree, Traversal((1, 0, 2, 3), TOPDOWN))
+
+    def test_reversal_preserves_peak_random(self, rng):
+        for _ in range(50):
+            tree = make_random_tree(rng.randint(1, 30), rng)
+            order = tuple(tree.topological_order())
+            top = Traversal(order, TOPDOWN)
+            assert peak_memory(tree, top) == pytest.approx(
+                peak_memory(tree, top.reversed())
+            )
+
+
+class TestCheckInCore:
+    def test_accepts_at_peak_and_rejects_below(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        peak = peak_memory(tree, trav)
+        assert check_in_core(tree, peak, trav)
+        assert not check_in_core(tree, peak - 0.5, trav)
+
+    def test_rejects_precedence_violation(self):
+        tree = two_level_tree()
+        assert not check_in_core(tree, 1e9, Traversal((1, 0, 2, 3), TOPDOWN))
+
+    def test_rejects_non_permutation(self):
+        tree = two_level_tree()
+        assert not check_in_core(tree, 1e9, Traversal((0, 1), TOPDOWN))
+
+    def test_bottomup_equivalence(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        peak = peak_memory(tree, trav)
+        assert check_in_core(tree, peak, trav.reversed())
+
+    def test_memory_below_root_file(self):
+        tree = chain_tree(2, f=5.0)
+        assert not check_in_core(tree, 4.0, Traversal((0, 1), TOPDOWN))
+
+    def test_random_consistency_with_profile(self, rng):
+        for _ in range(50):
+            tree = make_random_tree(rng.randint(1, 25), rng)
+            trav = Traversal(tuple(tree.topological_order()), TOPDOWN)
+            peak = peak_memory(tree, trav)
+            assert check_in_core(tree, peak, trav)
+            assert not check_in_core(tree, peak - 1e-6, trav)
+
+
+class TestCheckOutOfCore:
+    def test_no_evictions_reduces_to_in_core(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        peak = peak_memory(tree, trav)
+        ok, io = check_out_of_core(tree, peak, OutOfCoreSchedule(trav))
+        assert ok and io == 0.0
+        ok, _ = check_out_of_core(tree, peak - 0.5, OutOfCoreSchedule(trav))
+        assert not ok
+
+    def test_eviction_makes_infeasible_feasible(self):
+        # star: root f=0, three leaves f=2 each; n=0.  Processing the root
+        # needs 6; leaves need 2 each.  With M=6 the in-core traversal works;
+        # with an eviction schedule, so does a tighter memory after the root.
+        tree = star_tree(3, root_f=0.0, leaf_f=2.0)
+        trav = Traversal((0, 1, 2, 3), TOPDOWN)
+        # evict leaf 3's file right before executing leaf 1 (step 1)
+        schedule = OutOfCoreSchedule(trav, evictions={3: 1})
+        ok, io = check_out_of_core(tree, 6.0, schedule)
+        assert ok
+        assert io == pytest.approx(2.0)
+
+    def test_eviction_before_production_rejected(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        # node 3's file is produced when 1 executes (step 1); evicting at step 0
+        # is invalid
+        schedule = OutOfCoreSchedule(trav, evictions={3: 0})
+        ok, _ = check_out_of_core(tree, 1e9, schedule)
+        assert not ok
+
+    def test_eviction_after_execution_rejected(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        schedule = OutOfCoreSchedule(trav, evictions={1: 3})
+        ok, _ = check_out_of_core(tree, 1e9, schedule)
+        assert not ok
+
+    def test_unknown_victim_rejected(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        ok, _ = check_out_of_core(tree, 1e9, OutOfCoreSchedule(trav, evictions={99: 1}))
+        assert not ok
+
+    def test_io_volume_method(self):
+        tree = two_level_tree()
+        trav = Traversal((0, 1, 3, 2), TOPDOWN)
+        sched = OutOfCoreSchedule(trav, evictions={2: 1, 3: 2})
+        assert sched.io_volume(tree) == pytest.approx(tree.f(2) + tree.f(3))

@@ -1,0 +1,193 @@
+"""Unit tests for the task-tree data structure."""
+
+import pytest
+
+from repro.core.tree import Tree, TreeValidationError
+
+
+def build_small():
+    t = Tree()
+    t.add_node(0, f=1.0, n=2.0)
+    t.add_node(1, parent=0, f=3.0, n=0.5)
+    t.add_node(2, parent=0, f=4.0, n=0.0)
+    t.add_node(3, parent=1, f=5.0, n=1.0)
+    return t
+
+
+class TestConstruction:
+    def test_add_nodes_and_sizes(self):
+        t = build_small()
+        assert t.size == 4
+        assert len(t) == 4
+        assert t.root == 0
+        assert set(t.nodes()) == {0, 1, 2, 3}
+
+    def test_duplicate_node_rejected(self):
+        t = build_small()
+        with pytest.raises(TreeValidationError):
+            t.add_node(1, parent=0)
+
+    def test_second_root_rejected(self):
+        t = build_small()
+        with pytest.raises(TreeValidationError):
+            t.add_node(99)
+
+    def test_unknown_parent_rejected(self):
+        t = build_small()
+        with pytest.raises(TreeValidationError):
+            t.add_node(99, parent=1234)
+
+    def test_empty_tree_has_no_root(self):
+        with pytest.raises(TreeValidationError):
+            Tree().root
+
+    def test_contains_and_iter(self):
+        t = build_small()
+        assert 3 in t and 99 not in t
+        assert sorted(t) == [0, 1, 2, 3]
+
+
+class TestAccessors:
+    def test_parent_children(self):
+        t = build_small()
+        assert t.parent(0) is None
+        assert t.parent(3) == 1
+        assert t.children(0) == (1, 2)
+        assert t.children(3) == ()
+
+    def test_weights(self):
+        t = build_small()
+        assert t.f(1) == 3.0
+        assert t.n(1) == 0.5
+        t.set_f(1, 10.0)
+        t.set_n(1, 20.0)
+        assert t.f(1) == 10.0 and t.n(1) == 20.0
+
+    def test_unknown_node_raises(self):
+        t = build_small()
+        with pytest.raises(TreeValidationError):
+            t.f(42)
+        with pytest.raises(TreeValidationError):
+            t.children(42)
+
+    def test_leaves_and_is_leaf(self):
+        t = build_small()
+        assert t.is_leaf(2) and t.is_leaf(3)
+        assert not t.is_leaf(0)
+        assert set(t.leaves()) == {2, 3}
+
+    def test_mem_req(self):
+        t = build_small()
+        # node 0: f=1, n=2, children files 3+4
+        assert t.mem_req(0) == pytest.approx(10.0)
+        # leaf 3: f=5, n=1
+        assert t.mem_req(3) == pytest.approx(6.0)
+        assert t.max_mem_req() == pytest.approx(10.0)
+
+    def test_total_file_size(self):
+        t = build_small()
+        assert t.total_file_size() == pytest.approx(1 + 3 + 4 + 5)
+
+
+class TestStructureQueries:
+    def test_ancestors_and_depth(self):
+        t = build_small()
+        assert t.ancestors(3) == [1, 0]
+        assert t.depth(3) == 2
+        assert t.depth(0) == 0
+        assert t.height() == 2
+
+    def test_subtree(self):
+        t = build_small()
+        assert set(t.subtree_nodes(1)) == {1, 3}
+        assert t.subtree_size(0) == 4
+
+    def test_orders(self):
+        t = build_small()
+        topo = t.topological_order()
+        assert topo[0] == 0
+        pos = {v: i for i, v in enumerate(topo)}
+        for v in t.nodes():
+            if t.parent(v) is not None:
+                assert pos[t.parent(v)] < pos[v]
+        bottom = t.bottom_up_order()
+        assert bottom == list(reversed(topo))
+
+    def test_postorder_dfs_contiguous_subtrees(self):
+        t = build_small()
+        order = t.postorder_dfs()
+        assert set(order) == set(t.nodes())
+        pos = {v: i for i, v in enumerate(order)}
+        for v in t.nodes():
+            indices = sorted(pos[u] for u in t.subtree_nodes(v))
+            assert indices[-1] - indices[0] + 1 == len(indices)
+
+    def test_postorder_dfs_respects_child_order(self):
+        t = build_small()
+        order = t.postorder_dfs(child_order={0: (2, 1)})
+        assert order.index(2) < order.index(1)
+
+    def test_edges(self):
+        t = build_small()
+        assert set(t.edges()) == {(0, 1), (0, 2), (1, 3)}
+
+
+class TestCopyAndExport:
+    def test_copy_is_deep(self):
+        t = build_small()
+        c = t.copy()
+        assert c == t
+        c.set_f(1, 99.0)
+        assert t.f(1) == 3.0
+        assert c != t
+
+    def test_relabeled(self):
+        t = Tree()
+        t.add_node("r", f=1, n=0)
+        t.add_node("x", parent="r", f=2, n=1)
+        relabeled, mapping = t.relabeled()
+        assert relabeled.root == mapping["r"] == 0
+        assert relabeled.f(mapping["x"]) == 2
+
+    def test_to_networkx(self):
+        t = build_small()
+        g = t.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+        assert g.nodes[1]["f"] == 3.0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(build_small())
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        build_small().validate()
+
+    def test_negative_f_rejected(self):
+        t = build_small()
+        t.set_f(1, -1.0)
+        with pytest.raises(TreeValidationError):
+            t.validate()
+
+    def test_non_finite_rejected(self):
+        t = build_small()
+        t.set_n(1, float("nan"))
+        with pytest.raises(TreeValidationError):
+            t.validate()
+
+    def test_negative_n_allowed_if_memreq_nonnegative(self):
+        t = build_small()
+        t.set_n(1, -2.0)  # MemReq(1) = 3 - 2 + 5 = 6 >= 0
+        t.validate()
+
+    def test_negative_memreq_rejected(self):
+        t = Tree()
+        t.add_node(0, f=1.0, n=-5.0)
+        with pytest.raises(TreeValidationError):
+            t.validate()
+
+    def test_empty_tree_invalid(self):
+        with pytest.raises(TreeValidationError):
+            Tree().validate()
