@@ -1,21 +1,19 @@
 #!/usr/bin/env python3
-"""Quickstart: build a small task tree and compare the three MinMemory
-algorithms plus an out-of-core schedule.
+"""Quickstart: the unified ``solve()`` / ``compare()`` API.
+
+Build a small task tree, run every MinMemory algorithm through the solver
+registry, rank them side by side, and plan an out-of-core execution -- all
+via the single ``repro.solve`` entry point.  The legacy per-algorithm
+functions (``best_postorder``, ``liu_optimal_traversal``, ``min_mem``,
+``run_out_of_core``) remain supported; ``solve`` is a thin dispatch layer
+over them.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    Tree,
-    best_postorder,
-    check_in_core,
-    liu_optimal_traversal,
-    min_mem,
-    peak_memory,
-    run_out_of_core,
-)
+from repro import Tree, compare, list_solvers, solve, solve_many
 
 
 def build_tree() -> Tree:
@@ -36,34 +34,35 @@ def build_tree() -> Tree:
 def main() -> None:
     tree = build_tree()
     print(f"tree with {tree.size} tasks, max MemReq = {tree.max_mem_req():.0f} MB")
+    print(f"registered solvers: {', '.join(list_solvers())}\n")
 
-    # 1. the best postorder traversal (what MUMPS-style solvers do)
-    postorder = best_postorder(tree)
-    print(f"\nPostOrder  : {postorder.memory:.0f} MB")
-    print(f"  order    : {' -> '.join(map(str, postorder.traversal.order))}")
-
-    # 2. Liu's exact algorithm (optimal over all traversals)
-    liu = liu_optimal_traversal(tree)
-    print(f"Liu        : {liu.memory:.0f} MB")
-
-    # 3. the paper's MinMem algorithm (same optimum, different search)
-    minmem = min_mem(tree)
-    print(f"MinMem     : {minmem.memory:.0f} MB")
+    # 1. one algorithm, one unified report
+    minmem = solve(tree, "minmem")
+    print(f"MinMem     : {minmem.peak_memory:.0f} MB "
+          f"({minmem.extras['explore_calls']} Explore calls)")
     print(f"  order    : {' -> '.join(map(str, minmem.traversal.order))}")
 
-    assert liu.memory == minmem.memory <= postorder.memory
-    assert check_in_core(tree, minmem.memory, minmem.traversal)
-    assert peak_memory(tree, minmem.traversal) == minmem.memory
+    # 2. ranked side-by-side comparison (postorder vs liu vs minmem)
+    ranking = compare(tree)
+    print("\n" + ranking.format_table())
+    assert ranking.best.peak_memory <= ranking["postorder"].peak_memory
 
-    # 4. out-of-core execution when only max MemReq is available
+    # 3. out-of-core planning when only max MemReq is available
     memory = tree.max_mem_req()
     print(f"\nout-of-core execution with M = {memory:.0f} MB:")
     for heuristic in ("first_fit", "lsnf", "best_k_combination"):
-        out = run_out_of_core(tree, memory, minmem.traversal, heuristic)
+        out = solve(tree, "minio", memory=memory, heuristic=heuristic,
+                    traversal=minmem.traversal)
         print(
             f"  {heuristic:<18}: {out.io_volume:6.1f} MB written "
-            f"({out.io_operations} files)"
+            f"({out.extras['io_operations']} files)"
         )
+
+    # 4. batches of trees fan out across worker processes
+    batch = solve_many([tree, build_tree()], ["postorder", "minmem"], workers=2)
+    for i, reports in enumerate(batch):
+        ratio = reports["postorder"].peak_memory / reports["minmem"].peak_memory
+        print(f"\ntree #{i}: PostOrder / optimal = {ratio:.3f}")
 
 
 if __name__ == "__main__":

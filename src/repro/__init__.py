@@ -18,6 +18,11 @@ The library is organised in four layers:
 ``repro.generators``
     Synthetic tree families: harpoon graphs (Theorems 1 and 2), random-weight
     trees (Section VI-E), and parametric shapes.
+``repro.solvers``
+    The unified entry point: a registry of every algorithm exposed under a
+    common name, the :class:`SolveReport` result type, and the
+    ``solve``/``solve_many``/``compare`` facade (with process-parallel
+    batching across trees).
 ``repro.analysis``
     Dolan--Moré performance profiles, statistics tables, dataset builders and
     the experiment drivers that regenerate every table and figure of the
@@ -25,16 +30,33 @@ The library is organised in four layers:
 
 Quickstart::
 
-    from repro import Tree, best_postorder, liu_optimal_traversal, min_mem
+    from repro import Tree, solve, compare
 
     t = Tree()
     t.add_node(0, f=0.0, n=1.0)
     t.add_node(1, parent=0, f=4.0, n=2.0)
     t.add_node(2, parent=0, f=3.0, n=1.0)
 
-    print(best_postorder(t).memory)        # best postorder traversal
-    print(liu_optimal_traversal(t).memory) # Liu's exact algorithm
-    print(min_mem(t).memory)               # the paper's MinMem algorithm
+    report = solve(t, "minmem")            # the paper's MinMem algorithm
+    print(report.peak_memory, report.traversal.order)
+
+    print(solve(t, "postorder").memory)    # best postorder traversal
+    print(solve(t, "liu").memory)          # Liu's exact algorithm
+
+    print(compare(t).format_table())       # ranked side-by-side reports
+
+    # out-of-core scheduling under a memory bound
+    print(solve(t, "minio", memory=t.max_mem_req(), heuristic="lsnf").io_volume)
+
+Batches of trees fan out across worker processes::
+
+    from repro import solve_many
+
+    results = solve_many(trees, ["postorder", "minmem"], workers=4)
+
+The pre-registry entry points (``best_postorder``, ``liu_optimal_traversal``,
+``min_mem``, ``run_out_of_core``, ...) remain fully supported and are
+re-exported below; ``solve`` is a thin dispatch layer over them.
 """
 
 from .core import (
@@ -73,8 +95,21 @@ from .core import (
     uniform_weights,
 )
 from .core.minio import HEURISTICS, io_volume, run_out_of_core
+from .core.serialize import load_tree, save_tree
+from .solvers import (
+    Comparison,
+    SolveReport,
+    SolverSpec,
+    UnknownSolverError,
+    compare,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+    solve_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -114,4 +149,17 @@ __all__ = [
     "HEURISTICS",
     "run_out_of_core",
     "io_volume",
+    "save_tree",
+    "load_tree",
+    # unified solver facade
+    "solve",
+    "solve_many",
+    "compare",
+    "Comparison",
+    "SolveReport",
+    "SolverSpec",
+    "UnknownSolverError",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
 ]

@@ -14,20 +14,21 @@ helpers to produce the paper's artefacts:
   algorithms combined with one heuristic (Figure 8);
 * :func:`run_harpoon_ablation`     -- the Theorem 1 worst-case family.
 
+All drivers dispatch through the :mod:`repro.solvers` registry and batch the
+per-instance work with :func:`repro.solvers.solve_many`; pass ``workers=N``
+to fan a data set across ``N`` worker processes (the default ``None`` runs
+serially and produces identical results).
+
 The drivers are deliberately free of any printing; the benchmark harness and
 the CLI format their outputs.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.liu import liu_optimal_traversal
-from ..core.minio import HEURISTICS, run_out_of_core
-from ..core.minmem import min_mem
-from ..core.postorder import best_postorder
+from ..core.minio import HEURISTICS
 from ..core.traversal import Traversal
 from ..core.tree import Tree
 from ..generators.harpoon import (
@@ -35,6 +36,7 @@ from ..generators.harpoon import (
     optimal_memory_bound,
     postorder_memory_bound,
 )
+from ..solvers import get_solver, solve, solve_many
 from .datasets import TreeInstance
 from .performance_profiles import PerformanceProfile, performance_profile
 from .statistics import RatioStatistics, ratio_statistics
@@ -54,38 +56,32 @@ __all__ = [
 ]
 
 
-def _postorder_solver(tree: Tree) -> Tuple[float, Traversal]:
-    result = best_postorder(tree)
-    return result.memory, result.traversal
+def _legacy_solver(name: str) -> Callable[[Tree], Tuple[float, Traversal]]:
+    def run(tree: Tree) -> Tuple[float, Traversal]:
+        report = solve(tree, name)
+        return report.peak_memory, report.traversal
+
+    return run
 
 
-def _liu_solver(tree: Tree) -> Tuple[float, Traversal]:
-    result = liu_optimal_traversal(tree)
-    return result.memory, result.traversal
-
-
-def _minmem_solver(tree: Tree) -> Tuple[float, Traversal]:
-    result = min_mem(tree)
-    return result.memory, result.traversal
-
-
-#: name -> callable returning (memory, traversal) for each MinMemory algorithm
+#: name -> callable returning (memory, traversal); kept for backward
+#: compatibility, now thin shims over :func:`repro.solvers.solve`
 MINMEMORY_ALGORITHMS: Dict[str, Callable[[Tree], Tuple[float, Traversal]]] = {
-    "PostOrder": _postorder_solver,
-    "Liu": _liu_solver,
-    "MinMem": _minmem_solver,
+    "PostOrder": _legacy_solver("postorder"),
+    "Liu": _legacy_solver("liu"),
+    "MinMem": _legacy_solver("minmem"),
 }
 
 
 def traversal_for(tree: Tree, algorithm: str) -> Tuple[float, Traversal]:
-    """Memory and traversal computed by one of the MinMemory algorithms."""
-    try:
-        solver = MINMEMORY_ALGORITHMS[algorithm]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {sorted(MINMEMORY_ALGORITHMS)}"
-        ) from exc
-    return solver(tree)
+    """Memory and traversal computed by one registered MinMemory algorithm.
+
+    ``algorithm`` may be any registry name or alias (``"PostOrder"``,
+    ``"minmem"``, ...); unknown names raise
+    :class:`~repro.solvers.UnknownSolverError` (a :class:`ValueError`).
+    """
+    report = solve(tree, algorithm)
+    return report.peak_memory, report.traversal
 
 
 # ----------------------------------------------------------------------
@@ -130,14 +126,22 @@ class MinMemoryComparison:
         ]
 
 
-def run_minmemory_comparison(instances: Sequence[TreeInstance]) -> MinMemoryComparison:
+def run_minmemory_comparison(
+    instances: Sequence[TreeInstance],
+    *,
+    workers: Optional[int] = None,
+) -> MinMemoryComparison:
     """Compute PostOrder and optimal (MinMem) memory for every instance."""
-    names, postorder, optimal = [], [], []
-    for instance in instances:
-        names.append(instance.name)
-        postorder.append(best_postorder(instance.tree).memory)
-        optimal.append(min_mem(instance.tree).memory)
-    return MinMemoryComparison(tuple(names), tuple(postorder), tuple(optimal))
+    batch = solve_many(
+        (instance.tree for instance in instances),
+        ("postorder", "minmem"),
+        workers=workers,
+    )
+    return MinMemoryComparison(
+        names=tuple(instance.name for instance in instances),
+        postorder=tuple(reports["postorder"].peak_memory for reports in batch),
+        optimal=tuple(reports["minmem"].peak_memory for reports in batch),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -164,24 +168,29 @@ def run_runtime_comparison(
     instances: Sequence[TreeInstance],
     algorithms: Sequence[str] = ("PostOrder", "Liu", "MinMem"),
     repeats: int = 1,
+    *,
+    workers: Optional[int] = None,
 ) -> RuntimeComparison:
-    """Time every MinMemory algorithm on every instance (best of ``repeats``)."""
-    names = tuple(instance.name for instance in instances)
-    times: Dict[str, List[float]] = {alg: [] for alg in algorithms}
-    memories: Dict[str, List[float]] = {alg: [] for alg in algorithms}
-    for instance in instances:
-        for alg in algorithms:
-            solver = MINMEMORY_ALGORITHMS[alg]
-            best_time = float("inf")
-            memory = float("nan")
-            for _ in range(max(1, repeats)):
-                start = time.perf_counter()
-                memory, _traversal = solver(instance.tree)
-                best_time = min(best_time, time.perf_counter() - start)
-            times[alg].append(best_time)
-            memories[alg].append(memory)
+    """Time every MinMemory algorithm on every instance (best of ``repeats``).
+
+    Results are keyed by the names given in ``algorithms`` (aliases included),
+    matching the historical behaviour.  Wall times come from the per-solve
+    measurement inside :class:`~repro.solvers.SolveReport`, so they remain
+    meaningful when the batch runs on worker processes.
+    """
+    canonical = {alg: get_solver(alg).name for alg in algorithms}
+    trees = [instance.tree for instance in instances]
+    times: Dict[str, List[float]] = {alg: [float("inf")] * len(trees) for alg in algorithms}
+    memories: Dict[str, List[float]] = {alg: [float("nan")] * len(trees) for alg in algorithms}
+    for _ in range(max(1, repeats)):
+        batch = solve_many(trees, tuple(canonical.values()), workers=workers)
+        for idx, reports in enumerate(batch):
+            for alg in algorithms:
+                report = reports[canonical[alg]]
+                times[alg][idx] = min(times[alg][idx], report.wall_time)
+                memories[alg][idx] = report.peak_memory
     return RuntimeComparison(
-        names=names,
+        names=tuple(instance.name for instance in instances),
         times={alg: tuple(vals) for alg, vals in times.items()},
         memories={alg: tuple(vals) for alg, vals in memories.items()},
     )
@@ -217,22 +226,35 @@ def run_minio_heuristics(
     traversal_algorithm: str = "MinMem",
     heuristics: Sequence[str] = tuple(HEURISTICS),
     memory_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    workers: Optional[int] = None,
 ) -> MinIOComparison:
     """Figure 7: compare the eviction heuristics on one algorithm's traversals.
 
     For every tree, the traversal of ``traversal_algorithm`` is computed once
-    and replayed with every heuristic for several main-memory sizes between
+    (batched over the instances via :func:`repro.solvers.solve_many`) and
+    replayed with every heuristic for several main-memory sizes between
     ``max MemReq`` and the traversal's in-core peak.
     """
+    canonical = get_solver(traversal_algorithm).name
+    base = solve_many(
+        (instance.tree for instance in instances), (canonical,), workers=workers
+    )
     cases: List[str] = []
     io: Dict[str, List[float]] = {h: [] for h in heuristics}
-    for instance in instances:
-        peak, traversal = traversal_for(instance.tree, traversal_algorithm)
-        for memory in _memory_grid(instance.tree, peak, memory_fractions):
+    for instance, reports in zip(instances, base):
+        report = reports[canonical]
+        for memory in _memory_grid(instance.tree, report.peak_memory, memory_fractions):
             cases.append(f"{instance.name}@M={memory:.6g}")
             for heuristic in heuristics:
-                result = run_out_of_core(instance.tree, memory, traversal, heuristic)
-                io[heuristic].append(result.io_volume)
+                run = solve(
+                    instance.tree,
+                    "minio",
+                    memory=memory,
+                    heuristic=heuristic,
+                    traversal=report.traversal,
+                    in_core_peak=report.peak_memory,
+                )
+                io[heuristic].append(run.io_volume)
     return MinIOComparison(
         cases=tuple(cases), io_volumes={h: tuple(v) for h, v in io.items()}
     )
@@ -244,6 +266,7 @@ def run_traversal_io(
     algorithms: Sequence[str] = ("PostOrder", "Liu", "MinMem"),
     heuristic: str = "first_fit",
     memory_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    workers: Optional[int] = None,
 ) -> MinIOComparison:
     """Figure 8: compare traversal algorithms under a fixed eviction policy.
 
@@ -251,17 +274,28 @@ def run_traversal_io(
     ``max MemReq`` to the *optimal* in-core memory), so the comparison is
     fair even though the traversals have different in-core peaks.
     """
+    canonical = {alg: get_solver(alg).name for alg in algorithms}
+    base = solve_many(
+        (instance.tree for instance in instances),
+        tuple(canonical.values()),
+        workers=workers,
+    )
     cases: List[str] = []
     io: Dict[str, List[float]] = {f"{alg} + {heuristic}": [] for alg in algorithms}
-    for instance in instances:
-        traversals = {alg: traversal_for(instance.tree, alg) for alg in algorithms}
-        optimal_peak = min(peak for peak, _ in traversals.values())
+    for instance, reports in zip(instances, base):
+        optimal_peak = min(report.peak_memory for report in reports.values())
         for memory in _memory_grid(instance.tree, optimal_peak, memory_fractions):
             cases.append(f"{instance.name}@M={memory:.6g}")
             for alg in algorithms:
-                _, traversal = traversals[alg]
-                result = run_out_of_core(instance.tree, memory, traversal, heuristic)
-                io[f"{alg} + {heuristic}"].append(result.io_volume)
+                run = solve(
+                    instance.tree,
+                    "minio",
+                    memory=memory,
+                    heuristic=heuristic,
+                    traversal=reports[canonical[alg]].traversal,
+                    in_core_peak=reports[canonical[alg]].peak_memory,
+                )
+                io[f"{alg} + {heuristic}"].append(run.io_volume)
     return MinIOComparison(
         cases=tuple(cases), io_volumes={m: tuple(v) for m, v in io.items()}
     )
@@ -289,19 +323,23 @@ def run_harpoon_ablation(
     levels: Sequence[int] = (1, 2, 3, 4, 5),
     memory: float = 1.0,
     epsilon: float = 0.01,
+    *,
+    workers: Optional[int] = None,
 ) -> HarpoonAblation:
     """Measure how the PostOrder/optimal ratio grows with the nesting level."""
-    post, opt, pred_post, pred_opt = [], [], [], []
-    for level in levels:
-        tree = iterated_harpoon_tree(branches, level, memory=memory, epsilon=epsilon)
-        post.append(best_postorder(tree).memory)
-        opt.append(min_mem(tree).memory)
-        pred_post.append(postorder_memory_bound(branches, level, memory, epsilon))
-        pred_opt.append(optimal_memory_bound(branches, level, memory, epsilon))
+    trees = [
+        iterated_harpoon_tree(branches, level, memory=memory, epsilon=epsilon)
+        for level in levels
+    ]
+    batch = solve_many(trees, ("postorder", "minmem"), workers=workers)
     return HarpoonAblation(
         levels=tuple(levels),
-        postorder=tuple(post),
-        optimal=tuple(opt),
-        predicted_postorder=tuple(pred_post),
-        predicted_optimal=tuple(pred_opt),
+        postorder=tuple(reports["postorder"].peak_memory for reports in batch),
+        optimal=tuple(reports["minmem"].peak_memory for reports in batch),
+        predicted_postorder=tuple(
+            postorder_memory_bound(branches, level, memory, epsilon) for level in levels
+        ),
+        predicted_optimal=tuple(
+            optimal_memory_bound(branches, level, memory, epsilon) for level in levels
+        ),
     )

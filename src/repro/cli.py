@@ -2,6 +2,10 @@
 
 ``repro-treemem`` exposes the library's main entry points:
 
+* ``repro-treemem solve TREE.json --algorithm minmem [--json]`` -- run any
+  registered solver (``repro-treemem solve --list`` enumerates them) on one
+  or more stored trees, optionally emitting the full
+  :class:`~repro.solvers.SolveReport` as JSON;
 * ``repro-treemem minmem TREE.json`` -- MinMemory values of a stored tree
   with all three algorithms;
 * ``repro-treemem minio TREE.json --memory M`` -- out-of-core I/O volumes of
@@ -10,6 +14,10 @@
   assembly-tree and random-tree data sets as JSON files;
 * ``repro-treemem experiment fig5|fig6|fig7|fig8|fig9|table1|table2|harpoon``
   -- regenerate one of the paper's tables or figures and print it.
+
+Every subcommand dispatches through the :mod:`repro.solvers` registry, so
+solvers registered by third-party code (imported before :func:`main` runs)
+are available to ``solve`` as well.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import (
     assembly_tree_dataset,
@@ -32,12 +40,16 @@ from .analysis import (
     run_runtime_comparison,
     run_traversal_io,
 )
-from .core.liu import liu_optimal_traversal
-from .core.minio import HEURISTICS, run_out_of_core
-from .core.minmem import min_mem
-from .core.postorder import best_postorder
-from .core.serialize import load_tree, save_tree, tree_to_dict
-from .core.tree import Tree
+from .core.minio import HEURISTICS
+from .core.serialize import load_tree, save_tree, solve_report_to_dict
+from .core.tree import TreeValidationError
+from .solvers import (
+    UnknownSolverError,
+    compare,
+    solve,
+    solve_many,
+    solver_table,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -49,6 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Memory-optimal tree traversals for sparse matrix factorization",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="run one registered solver on stored trees")
+    p_solve.add_argument("trees", nargs="*", type=Path,
+                         help="tree JSON files (see repro.core.serialize)")
+    p_solve.add_argument("--algorithm", "-a", default="minmem",
+                         help="registered solver name or alias (default: minmem)")
+    p_solve.add_argument("--memory", type=float, default=None,
+                         help="memory budget forwarded to budgeted solvers (explore, minio)")
+    p_solve.add_argument("--heuristic", choices=tuple(HEURISTICS), default=None,
+                         help="eviction heuristic for the minio solver")
+    p_solve.add_argument("--workers", type=int, default=None,
+                         help="worker processes for multi-tree batches (default: serial)")
+    p_solve.add_argument("--json", action="store_true",
+                         help="emit the full SolveReport(s) as JSON")
+    p_solve.add_argument("--list", action="store_true", dest="list_algorithms",
+                         help="list the registered solvers and exit")
 
     p_minmem = sub.add_parser("minmem", help="MinMemory values of a stored tree")
     p_minmem.add_argument("tree", type=Path, help="tree JSON file (see repro.core.serialize)")
@@ -71,6 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the experiment batch (default: serial)")
     return parser
 
 
@@ -78,38 +108,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-treemem`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "minmem":
-        return _cmd_minmem(args)
-    if args.command == "minio":
-        return _cmd_minio(args)
-    if args.command == "dataset":
-        return _cmd_dataset(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
+    try:
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "minmem":
+            return _cmd_minmem(args)
+        if args.command == "minio":
+            return _cmd_minio(args)
+        if args.command == "dataset":
+            return _cmd_dataset(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+    except UnknownSolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, TreeValidationError, json.JSONDecodeError) as exc:
+        # unreadable path or malformed tree document: report, don't traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     parser.error(f"unknown command {args.command!r}")
     return 2
 
 
 # ----------------------------------------------------------------------
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.list_algorithms:
+        print(f"{'name':<26} {'family':<10} summary")
+        for spec in solver_table():
+            print(f"{spec.name:<26} {spec.family:<10} {spec.summary}")
+        return 0
+    if not args.trees:
+        print("error: no tree files given (or use --list)", file=sys.stderr)
+        return 2
+
+    options = {}
+    if args.heuristic is not None:
+        options["heuristic"] = args.heuristic
+
+    trees = [load_tree(path) for path in args.trees]
+    if len(trees) == 1:
+        reports = [solve(trees[0], args.algorithm, memory=args.memory, **options)]
+    else:
+        batch = solve_many(
+            trees, args.algorithm, memory=args.memory, workers=args.workers, **options
+        )
+        reports = [next(iter(per_tree.values())) for per_tree in batch]
+
+    if args.json:
+        documents = [
+            {"tree": str(path), "report": solve_report_to_dict(report)}
+            for path, report in zip(args.trees, reports)
+        ]
+        payload = documents[0] if len(documents) == 1 else documents
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    for path, tree, report in zip(args.trees, trees, reports):
+        print(f"{path}: {tree.size} nodes")
+        print(f"  {report.summary()}")
+        for key, value in report.extras.items():
+            print(f"    {key:<20}: {value}")
+    return 0
+
+
 def _cmd_minmem(args: argparse.Namespace) -> int:
     tree = load_tree(args.tree)
-    postorder = best_postorder(tree)
-    liu = liu_optimal_traversal(tree)
-    minmem = min_mem(tree)
+    comparison = compare(tree, ("postorder", "liu", "minmem"))
+    postorder = comparison["postorder"]
+    liu = comparison["liu"]
+    minmem = comparison["minmem"]
     print(f"nodes                 : {tree.size}")
     print(f"max MemReq            : {tree.max_mem_req():.6g}")
-    print(f"PostOrder memory      : {postorder.memory:.6g}")
-    print(f"Liu (optimal) memory  : {liu.memory:.6g}")
-    print(f"MinMem (optimal)      : {minmem.memory:.6g}")
-    print(f"PostOrder / optimal   : {postorder.memory / minmem.memory:.4f}")
+    print(f"PostOrder memory      : {postorder.peak_memory:.6g}")
+    print(f"Liu (optimal) memory  : {liu.peak_memory:.6g}")
+    print(f"MinMem (optimal)      : {minmem.peak_memory:.6g}")
+    print(f"PostOrder / optimal   : {postorder.peak_memory / minmem.peak_memory:.4f}")
     return 0
 
 
 def _cmd_minio(args: argparse.Namespace) -> int:
-    from .analysis.experiments import traversal_for
-
     tree = load_tree(args.tree)
-    peak, traversal = traversal_for(tree, args.algorithm)
+    base = solve(tree, args.algorithm)
+    peak, traversal = base.peak_memory, base.traversal
     memory = args.memory
     if memory is None:
         memory = (tree.max_mem_req() + peak) / 2.0
@@ -122,9 +202,9 @@ def _cmd_minio(args: argparse.Namespace) -> int:
     print(f"traversal algorithm   : {args.algorithm} (in-core peak {peak:.6g})")
     print(f"main memory           : {memory:.6g}")
     for name in HEURISTICS:
-        result = run_out_of_core(tree, memory, traversal, name)
+        result = solve(tree, "minio", memory=memory, heuristic=name, traversal=traversal)
         print(f"{name:<20}: IO volume {result.io_volume:.6g} "
-              f"({result.io_operations} files written)")
+              f"({result.extras['io_operations']} files written)")
     return 0
 
 
@@ -147,8 +227,9 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     which = args.which
+    workers = args.workers
     if which == "harpoon":
-        ablation = run_harpoon_ablation()
+        ablation = run_harpoon_ablation(workers=workers)
         print("levels   postorder   optimal   ratio   predicted_ratio")
         for i, level in enumerate(ablation.levels):
             ratio = ablation.postorder[i] / ablation.optimal[i]
@@ -163,7 +244,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         instances = assembly_tree_dataset(args.scale)
 
     if which in ("fig5", "table1", "fig9", "table2"):
-        comparison = run_minmemory_comparison(instances)
+        comparison = run_minmemory_comparison(instances, workers=workers)
         print(format_ratio_table(comparison.statistics()))
         print()
         profile = comparison.profile(non_optimal_only=which in ("fig5", "fig9"))
@@ -172,18 +253,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(ascii_profile(profile))
         return 0
     if which == "fig6":
-        runtime = run_runtime_comparison(instances)
+        runtime = run_runtime_comparison(instances, workers=workers)
         profile = runtime.profile()
         print(format_profile_table(profile, taus=(1.0, 1.5, 2.0, 3.0, 5.0)))
         for alg in runtime.times:
             print(f"total {alg:<10}: {runtime.total_time(alg):.3f} s")
         return 0
     if which == "fig7":
-        comparison = run_minio_heuristics(instances)
+        comparison = run_minio_heuristics(instances, workers=workers)
         print(format_profile_table(comparison.profile(), taus=(1.0, 1.5, 2.0, 3.0, 5.0)))
         return 0
     if which == "fig8":
-        comparison = run_traversal_io(instances)
+        comparison = run_traversal_io(instances, workers=workers)
         print(format_profile_table(comparison.profile(), taus=(1.0, 1.5, 2.0, 3.0, 5.0)))
         return 0
     return 2

@@ -30,6 +30,16 @@ from .explore import ExploreResult, ExploreSolver
 from .liu import LiuResult, Segment, flatten_nodes, liu_min_memory, liu_optimal_traversal
 from .minmem import MinMemResult, min_mem, min_memory
 from .postorder import POSTORDER_RULES, PostOrderResult, best_postorder, postorder_with_rule
+from .serialize import (
+    load_tree,
+    save_tree,
+    solve_report_from_dict,
+    solve_report_to_dict,
+    traversal_from_dict,
+    traversal_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
 from .traversal import (
     BOTTOMUP,
     TOPDOWN,
@@ -91,4 +101,13 @@ __all__ = [
     "min_memory",
     "ExploreSolver",
     "ExploreResult",
+    # serialize
+    "save_tree",
+    "load_tree",
+    "tree_to_dict",
+    "tree_from_dict",
+    "traversal_to_dict",
+    "traversal_from_dict",
+    "solve_report_to_dict",
+    "solve_report_from_dict",
 ]

@@ -1,10 +1,12 @@
-"""Serialization of task trees and traversals.
+"""Serialization of task trees, traversals and solve reports.
 
 Trees are stored as a small JSON document (schema version 1) listing the
 nodes in top-down order with their parent, ``f`` and ``n`` weights, so that a
 dataset of assembly trees can be materialised once and reused across
 experiments.  Traversals are stored alongside as plain node lists with their
-convention.
+convention, and :class:`repro.solvers.SolveReport` objects round-trip through
+:func:`solve_report_to_dict` / :func:`solve_report_from_dict` (backing the
+CLI's ``solve --json`` output).
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ __all__ = [
     "load_tree",
     "traversal_to_dict",
     "traversal_from_dict",
+    "solve_report_to_dict",
+    "solve_report_from_dict",
 ]
 
 SCHEMA_VERSION = 1
@@ -82,3 +86,22 @@ def traversal_from_dict(data: Dict[str, Any]) -> Traversal:
             f"unsupported traversal schema {data.get('schema')!r}"
         )
     return Traversal(tuple(data["order"]), data["convention"])
+
+
+def solve_report_to_dict(report) -> Dict[str, Any]:
+    """Convert a :class:`repro.solvers.SolveReport` to a JSON-safe dict.
+
+    Thin wrapper around :func:`repro.solvers.report.report_to_dict`; the
+    import is deferred because :mod:`repro.solvers` itself builds on this
+    module.
+    """
+    from ..solvers.report import report_to_dict
+
+    return report_to_dict(report)
+
+
+def solve_report_from_dict(data: Dict[str, Any]):
+    """Rebuild a :class:`repro.solvers.SolveReport` from its dict form."""
+    from ..solvers.report import report_from_dict
+
+    return report_from_dict(data)

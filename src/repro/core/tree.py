@@ -215,14 +215,35 @@ class Tree:
 
     def depth(self, node: NodeId) -> int:
         """Number of edges between ``node`` and the root."""
-        return len(self.ancestors(node))
+        self._require(node)
+        count = 0
+        cur = self._parent[node]
+        while cur is not None:
+            count += 1
+            cur = self._parent[cur]
+        return count
+
+    def depths(self) -> Dict[NodeId, int]:
+        """Depth of every node, computed in a single top-down pass.
+
+        Prefer this over per-node :meth:`depth` calls when several depths are
+        needed: one parent-chain walk per node is quadratic on the deep chain
+        trees of the paper's Section VI workloads.
+        """
+        if self._root is None:
+            return {}
+        depth: Dict[NodeId, int] = {self._root: 0}
+        for node in self.topological_order():
+            below = depth[node] + 1
+            for child in self._children[node]:
+                depth[child] = below
+        return depth
 
     def height(self) -> int:
         """Length (in edges) of the longest root-to-leaf path."""
-        best = 0
-        for leaf in self.leaves():
-            best = max(best, self.depth(leaf))
-        return best
+        if self._root is None:
+            return 0
+        return max(self.depths().values())
 
     def subtree_nodes(self, node: NodeId) -> List[NodeId]:
         """Nodes of the subtree rooted at ``node`` in BFS order."""

@@ -1,0 +1,138 @@
+"""The unified result type returned by every registered solver.
+
+Historically each algorithm family returned a bespoke dataclass
+(``PostOrderResult``, ``LiuResult``, ``MinMemResult``, ``ExploreResult``,
+``OutOfCoreResult``) and every consumer re-implemented the glue to compare
+them.  :class:`SolveReport` is the common denominator: the algorithm name, a
+traversal (and, for out-of-core runs, the full eviction schedule), the peak
+memory, the I/O volume, the wall-clock time, and a solver-specific ``extras``
+dictionary for everything else.
+
+``wall_time`` is excluded from equality comparisons so that two runs of the
+same deterministic solver -- e.g. a serial and a multiprocess
+:func:`repro.solvers.solve_many` batch -- compare equal.
+
+Reports round-trip through JSON via :func:`report_to_dict` /
+:func:`report_from_dict` (also exposed as
+:func:`repro.core.serialize.solve_report_to_dict` /
+``solve_report_from_dict``); ``extras`` values are therefore expected to be
+JSON-serialisable scalars or small lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..core.serialize import traversal_from_dict, traversal_to_dict
+from ..core.traversal import OutOfCoreSchedule, Traversal
+from ..core.tree import TreeValidationError
+
+__all__ = ["SolveReport", "report_to_dict", "report_from_dict"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Unified result of one solver run on one tree.
+
+    Attributes
+    ----------
+    algorithm:
+        Canonical registry name of the solver that produced the report.
+    peak_memory:
+        Peak main memory of the computed traversal.  For the MinMemory
+        solvers this is the minimum memory making the traversal feasible
+        in-core; for MinIO runs it is the peak *resident* size, which never
+        exceeds the memory bound.
+    traversal:
+        The computed node order (for out-of-core runs, the order replayed by
+        the scheduler).
+    io_volume:
+        Volume written to secondary memory (``0.0`` for in-core solvers).
+    schedule:
+        Full out-of-core schedule (traversal + eviction steps) when the
+        solver produced one, else ``None``.
+    wall_time:
+        Wall-clock seconds spent inside the solver.  Excluded from equality.
+    extras:
+        Solver-specific metadata (e.g. ``iterations`` and ``explore_calls``
+        for MinMem, the child-ordering ``rule`` for PostOrder, the eviction
+        ``heuristic`` and ``memory_limit`` for MinIO).
+    """
+
+    algorithm: str
+    peak_memory: float
+    traversal: Traversal
+    io_volume: float = 0.0
+    schedule: Optional[OutOfCoreSchedule] = None
+    wall_time: float = field(default=0.0, compare=False)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def memory(self) -> float:
+        """Alias of :attr:`peak_memory` (mirrors the legacy result types)."""
+        return self.peak_memory
+
+    def with_wall_time(self, seconds: float) -> "SolveReport":
+        """Copy of the report with ``wall_time`` replaced."""
+        return replace(self, wall_time=float(seconds))
+
+    def summary(self) -> str:
+        """One human-readable line (used by the CLI's text output)."""
+        parts = [f"{self.algorithm:<24}: peak memory {self.peak_memory:.6g}"]
+        if self.schedule is not None or self.io_volume:
+            parts.append(f"IO volume {self.io_volume:.6g}")
+        parts.append(f"{self.wall_time * 1e3:.2f} ms")
+        return "  ".join(parts)
+
+
+def report_to_dict(report: SolveReport) -> Dict[str, Any]:
+    """Convert a :class:`SolveReport` to a JSON-serialisable dictionary."""
+    schedule = None
+    if report.schedule is not None:
+        schedule = {
+            "traversal": traversal_to_dict(report.schedule.traversal),
+            # a list of [node, step] pairs: JSON objects cannot keep
+            # non-string keys, and node identifiers are often integers
+            "evictions": sorted(
+                ([node, step] for node, step in report.schedule.evictions.items()),
+                key=lambda pair: pair[1],
+            ),
+        }
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "kind": "solve_report",
+        "algorithm": report.algorithm,
+        "peak_memory": report.peak_memory,
+        "io_volume": report.io_volume,
+        "wall_time": report.wall_time,
+        "traversal": traversal_to_dict(report.traversal),
+        "schedule": schedule,
+        "extras": dict(report.extras),
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> SolveReport:
+    """Rebuild a :class:`SolveReport` from :func:`report_to_dict` output."""
+    if data.get("schema") != REPORT_SCHEMA_VERSION or data.get("kind") != "solve_report":
+        raise TreeValidationError(
+            f"unsupported solve-report document "
+            f"(schema={data.get('schema')!r}, kind={data.get('kind')!r})"
+        )
+    schedule = None
+    if data.get("schedule") is not None:
+        schedule = OutOfCoreSchedule(
+            traversal=traversal_from_dict(data["schedule"]["traversal"]),
+            evictions={node: step for node, step in data["schedule"]["evictions"]},
+        )
+    return SolveReport(
+        algorithm=data["algorithm"],
+        peak_memory=float(data["peak_memory"]),
+        traversal=traversal_from_dict(data["traversal"]),
+        io_volume=float(data.get("io_volume", 0.0)),
+        schedule=schedule,
+        wall_time=float(data.get("wall_time", 0.0)),
+        extras=dict(data.get("extras", {})),
+    )

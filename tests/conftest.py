@@ -8,29 +8,9 @@ import pytest
 
 from repro.core.tree import Tree
 
-
-def make_random_tree(
-    n_nodes: int,
-    rng: random.Random,
-    *,
-    max_f: int = 10,
-    max_n: int = 5,
-    min_f: int = 0,
-    window: int | None = None,
-) -> Tree:
-    """Random tree used across many tests (uniform or windowed attachment)."""
-    tree = Tree()
-    tree.add_node(0, f=rng.randint(min_f, max_f), n=rng.randint(0, max_n))
-    for i in range(1, n_nodes):
-        low = 0 if window is None else max(0, i - window)
-        parent = rng.randint(low, i - 1)
-        tree.add_node(
-            i,
-            parent=parent,
-            f=rng.randint(max(min_f, 1), max_f),
-            n=rng.randint(0, max_n),
-        )
-    return tree
+# re-exported so legacy `from conftest import make_random_tree` style imports
+# keep working; the canonical home is tests/_helpers.py
+from _helpers import make_random_tree  # noqa: F401
 
 
 @pytest.fixture

@@ -13,7 +13,7 @@ from repro.core.postorder import best_postorder
 from repro.core.traversal import TOPDOWN, check_in_core, is_topological, peak_memory
 from repro.generators.harpoon import harpoon_tree, iterated_harpoon_tree
 
-from .conftest import make_random_tree
+from _helpers import make_random_tree
 
 
 class TestExplore:

@@ -9,7 +9,7 @@ from repro.core.postorder import best_postorder
 from repro.core.traversal import check_in_core, is_topological, peak_memory
 from repro.generators.harpoon import harpoon_tree, optimal_memory_bound
 
-from .conftest import make_random_tree
+from _helpers import make_random_tree
 
 
 class TestBasics:

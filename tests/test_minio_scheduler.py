@@ -16,7 +16,7 @@ from repro.core.minmem import min_mem
 from repro.core.postorder import best_postorder
 from repro.core.traversal import check_out_of_core
 
-from .conftest import make_random_tree
+from _helpers import make_random_tree
 
 
 def tight_tree():

@@ -10,7 +10,7 @@ from repro.core.postorder import POSTORDER_RULES, best_postorder, postorder_with
 from repro.core.traversal import is_postorder, peak_memory
 from repro.generators.harpoon import harpoon_tree, postorder_memory_bound
 
-from .conftest import make_random_tree
+from _helpers import make_random_tree
 
 
 class TestSmallInstances:

@@ -14,7 +14,7 @@ from repro.core.serialize import (
 from repro.core.traversal import BOTTOMUP, TOPDOWN, Traversal
 from repro.core.tree import TreeValidationError
 
-from .conftest import make_random_tree
+from _helpers import make_random_tree
 
 
 class TestTreeSerialization:

@@ -21,7 +21,7 @@ from repro.core.traversal import (
 )
 from repro.core.tree import Tree
 
-from .conftest import make_random_tree
+from _helpers import make_random_tree
 
 
 def two_level_tree():
