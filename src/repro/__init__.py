@@ -3,7 +3,7 @@
 A from-scratch reproduction of *"On optimal tree traversals for sparse matrix
 factorization"* (Jacquelin, Marchal, Robert, Uçar; IPPS 2011).
 
-The library is organised in four layers:
+The library is organised in six layers:
 
 ``repro.core``
     Task-tree model, traversal checkers, the three MinMemory algorithms
@@ -27,6 +27,13 @@ The library is organised in four layers:
     Dolan--Moré performance profiles, statistics tables, dataset builders and
     the experiment drivers that regenerate every table and figure of the
     paper.
+``repro.bench``
+    The benchmark subsystem: a decorator-based registry of *scenarios*
+    (tree family x sizes x algorithms x memory budgets), an independent
+    schedule-replay engine that re-validates every reported schedule, a
+    runner with warmup/repeat timing and parallel workers, and
+    schema-versioned ``BENCH_<timestamp>.json`` artifacts with a regression
+    ``compare`` mode.
 
 Quickstart::
 
@@ -53,6 +60,17 @@ Batches of trees fan out across worker processes::
     from repro import solve_many
 
     results = solve_many(trees, ["postorder", "minmem"], workers=4)
+
+Benchmarks run through the scenario registry of :mod:`repro.bench` -- from
+Python or via the ``bench`` subcommand::
+
+    repro-treemem bench --list                 # enumerate the scenarios
+    repro-treemem bench --filter minmem --json # run + write BENCH_*.json
+    repro-treemem bench --compare OLD NEW      # exit 1 on regressions
+
+Every emitted schedule is replay-validated: an independent engine re-executes
+it step by step and recomputes peak memory and I/O volume from scratch (see
+:mod:`repro.bench.replay`).
 
 The pre-registry entry points (``best_postorder``, ``liu_optimal_traversal``,
 ``min_mem``, ``run_out_of_core``, ...) remain fully supported and are
@@ -109,7 +127,7 @@ from .solvers import (
     solve_many,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -69,12 +69,20 @@ def ratio_statistics(
         if ratio > 1.0 + rel_tol:
             non_optimal += 1
     arr = np.asarray(ratios, dtype=float)
+    if np.isinf(arr).any():
+        # degenerate (zero) references: the mean is infinite and the spread
+        # undefined; report inf for both rather than letting numpy's
+        # ``inf - inf`` warn and produce NaN
+        mean_ratio = std_ratio = math.inf
+    else:
+        mean_ratio = float(np.mean(arr))
+        std_ratio = float(np.std(arr))
     return RatioStatistics(
         count=len(values),
         non_optimal_fraction=non_optimal / len(values),
         max_ratio=float(np.max(arr)),
-        mean_ratio=float(np.mean(arr)),
-        std_ratio=float(np.std(arr)),
+        mean_ratio=mean_ratio,
+        std_ratio=std_ratio,
     )
 
 

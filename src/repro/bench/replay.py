@@ -1,0 +1,312 @@
+"""Schedule replay: an independent execution oracle for solver outputs.
+
+Every solver of the registry returns a :class:`~repro.solvers.SolveReport`
+whose headline numbers (peak memory, I/O volume) are computed *inside* the
+algorithm.  This module re-executes the reported schedule step by step with
+its own memory accounting and recomputes those numbers from scratch, so a
+bug in a solver's bookkeeping cannot silently propagate into benchmark
+artifacts or papers built on them.
+
+* :func:`replay_traversal` replays an in-core traversal (full, or a
+  top-down prefix for partial ``explore`` runs) and returns its peak memory;
+* :func:`replay_schedule` replays an out-of-core schedule (traversal plus
+  eviction steps), recomputing the peak *resident* memory and the I/O
+  volume while enforcing every constraint of the paper's Algorithm 2;
+* :func:`replay_report` dispatches on the report shape and *validates* the
+  replayed metrics against the ones the solver claimed, raising
+  :class:`ReplayMismatch` on any disagreement.
+
+The engine is deliberately written against the raw :class:`Tree` accessors
+only -- it shares no code with :mod:`repro.core.traversal` or the MinIO
+scheduler, which is what makes it usable as a cross-solver test oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from ..core.traversal import BOTTOMUP, TOPDOWN, OutOfCoreSchedule, Traversal
+from ..core.tree import Tree
+from ..solvers.report import SolveReport
+
+__all__ = [
+    "ReplayError",
+    "ReplayMismatch",
+    "ReplayResult",
+    "replay_traversal",
+    "replay_schedule",
+    "replay_report",
+]
+
+NodeId = Hashable
+
+#: relative tolerance for float metric comparisons; solver metrics are sums
+#: of user-scale weights, so honest recomputations agree far below this
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-9
+
+
+class ReplayError(ValueError):
+    """Raised when a schedule cannot be executed (infeasible or malformed)."""
+
+
+class ReplayMismatch(ReplayError):
+    """Raised when a replay disagrees with the metrics a solver reported."""
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Metrics recomputed by replaying a schedule.
+
+    Attributes
+    ----------
+    peak_memory:
+        Largest memory simultaneously in use over the whole execution.  For
+        out-of-core schedules this is the peak *resident* size.
+    io_volume:
+        Total volume written to secondary memory (``0.0`` in-core).
+    steps:
+        Number of nodes executed (smaller than the tree for partial runs).
+    evictions:
+        Number of files written to secondary memory.
+    complete:
+        True when every node of the tree was executed.
+    """
+
+    peak_memory: float
+    io_volume: float = 0.0
+    steps: int = 0
+    evictions: int = 0
+    complete: bool = True
+
+
+def _close(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+
+
+# ----------------------------------------------------------------------
+# in-core replay
+# ----------------------------------------------------------------------
+def replay_traversal(
+    tree: Tree,
+    traversal: Traversal,
+    *,
+    partial: bool = False,
+) -> ReplayResult:
+    """Re-execute an in-core traversal and recompute its peak memory.
+
+    Parameters
+    ----------
+    tree:
+        The task tree.
+    traversal:
+        The node order, in either convention.  Unless ``partial`` is set the
+        order must be a permutation of the tree nodes.
+    partial:
+        Allow a strict prefix of a top-down execution (as produced by a
+        budget-limited ``explore`` run).  Partial bottom-up replays are not
+        defined and raise :class:`ReplayError`.
+
+    Raises
+    ------
+    ReplayError
+        On duplicate or unknown nodes, precedence violations, or an
+        incomplete order without ``partial``.
+    """
+    order = tuple(traversal.order)
+    executed: Dict[NodeId, int] = {}
+    for step, node in enumerate(order):
+        if node not in tree:
+            raise ReplayError(f"step {step}: node {node!r} is not in the tree")
+        if node in executed:
+            raise ReplayError(f"step {step}: node {node!r} executed twice")
+        executed[node] = step
+    complete = len(order) == tree.size
+    if not complete and (not partial or traversal.convention != TOPDOWN):
+        raise ReplayError(
+            f"order covers {len(order)} of {tree.size} nodes; "
+            "only top-down replays may be partial"
+        )
+
+    if traversal.convention == TOPDOWN:
+        if order and order[0] != tree.root:
+            raise ReplayError("top-down execution must start at the root")
+        resident = tree.f(tree.root) if order else 0.0
+        peak = resident
+        for step, node in enumerate(order):
+            parent = tree.parent(node)
+            if parent is not None and executed.get(parent, step) >= step:
+                raise ReplayError(
+                    f"step {step}: node {node!r} executed before its parent"
+                )
+            children_size = sum(tree.f(c) for c in tree.children(node))
+            peak = max(peak, resident + tree.n(node) + children_size)
+            resident += children_size - tree.f(node)
+        return ReplayResult(
+            peak_memory=peak,
+            steps=len(order),
+            complete=complete,
+        )
+
+    # bottom-up: every child strictly before its parent, full permutation
+    resident = 0.0
+    peak = 0.0
+    for step, node in enumerate(order):
+        for child in tree.children(node):
+            if executed[child] >= step:
+                raise ReplayError(
+                    f"step {step}: node {node!r} executed before child {child!r}"
+                )
+        children_size = sum(tree.f(c) for c in tree.children(node))
+        peak = max(peak, resident + tree.n(node) + tree.f(node))
+        resident += tree.f(node) - children_size
+    return ReplayResult(peak_memory=peak, steps=len(order), complete=True)
+
+
+# ----------------------------------------------------------------------
+# out-of-core replay
+# ----------------------------------------------------------------------
+def replay_schedule(
+    tree: Tree,
+    schedule: OutOfCoreSchedule,
+    *,
+    memory: Optional[float] = None,
+) -> ReplayResult:
+    """Re-execute an out-of-core schedule, recomputing peak and I/O volume.
+
+    The replay enforces the constraints of the paper's Algorithm 2: a file
+    may only be evicted after it has been produced and before its owner
+    executes, never twice, and -- when ``memory`` is given -- the resident
+    set plus the executing node must fit the bound at every step.
+
+    Parameters
+    ----------
+    tree:
+        The task tree.
+    schedule:
+        Node order plus eviction steps.  Bottom-up orders are reversed into
+        the top-down convention first (the eviction steps must then refer to
+        the reversed order, as everywhere else in the library).
+    memory:
+        Optional main-memory bound to validate against.  ``None`` replays
+        without a bound and only recomputes the metrics.
+
+    Raises
+    ------
+    ReplayError
+        On any violated constraint.
+    """
+    traversal = schedule.traversal
+    if traversal.convention == BOTTOMUP:
+        traversal = traversal.reversed()
+    order = tuple(traversal.order)
+    if len(order) != tree.size or set(order) != set(tree.nodes()):
+        raise ReplayError("schedule order is not a permutation of the tree nodes")
+    position = {node: step for step, node in enumerate(order)}
+
+    evict_at: Dict[int, list] = {}
+    for victim, step in schedule.evictions.items():
+        if victim not in tree:
+            raise ReplayError(f"eviction of unknown node {victim!r}")
+        if not 0 <= step < len(order):
+            raise ReplayError(f"eviction step {step} of {victim!r} out of range")
+        if position[victim] <= step:
+            raise ReplayError(
+                f"node {victim!r} evicted at step {step} but executes at "
+                f"step {position[victim]}; files must be evicted strictly "
+                "before their owner runs"
+            )
+        evict_at.setdefault(step, []).append(victim)
+
+    resident: Dict[NodeId, float] = {tree.root: tree.f(tree.root)}
+    resident_size = tree.f(tree.root)
+    on_disk = set()
+    peak = resident_size
+    io_total = 0.0
+
+    for step, node in enumerate(order):
+        for victim in evict_at.get(step, ()):  # evictions happen before step
+            if victim not in resident:
+                raise ReplayError(
+                    f"step {step}: evicted file {victim!r} is not resident "
+                    "(not produced yet, or already written out)"
+                )
+            resident_size -= resident.pop(victim)
+            on_disk.add(victim)
+            io_total += tree.f(victim)
+        if node in on_disk:  # read the input file back from secondary memory
+            on_disk.discard(node)
+            resident[node] = tree.f(node)
+            resident_size += tree.f(node)
+        if node not in resident:
+            raise ReplayError(
+                f"step {step}: input file of {node!r} is not resident; "
+                "the parent has not executed"
+            )
+        children_size = sum(tree.f(c) for c in tree.children(node))
+        step_peak = resident_size + tree.n(node) + children_size
+        if memory is not None and step_peak > memory * (1.0 + _REL_TOL) + _ABS_TOL:
+            raise ReplayError(
+                f"step {step}: executing {node!r} needs {step_peak:.6g} "
+                f"but the memory bound is {memory:.6g}"
+            )
+        peak = max(peak, step_peak)
+        resident_size -= resident.pop(node)
+        for child in tree.children(node):
+            resident[child] = tree.f(child)
+            resident_size += tree.f(child)
+
+    if on_disk:
+        raise ReplayError(f"files never read back: {sorted(map(repr, on_disk))}")
+    return ReplayResult(
+        peak_memory=peak,
+        io_volume=io_total,
+        steps=len(order),
+        evictions=len(schedule.evictions),
+        complete=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# report validation
+# ----------------------------------------------------------------------
+def replay_report(tree: Tree, report: SolveReport) -> ReplayResult:
+    """Replay a :class:`SolveReport` and validate its claimed metrics.
+
+    Out-of-core reports are replayed through :func:`replay_schedule` under
+    their ``extras["memory_limit"]`` bound (when recorded); in-core reports
+    through :func:`replay_traversal`, allowing a partial prefix for
+    ``explore`` runs that did not complete.  The recomputed peak memory must
+    match ``report.peak_memory`` and the recomputed I/O volume must match
+    ``report.io_volume``; any disagreement raises :class:`ReplayMismatch`.
+    """
+    if report.schedule is not None:
+        memory = report.extras.get("memory_limit")
+        result = replay_schedule(
+            tree,
+            report.schedule,
+            memory=float(memory) if memory is not None else None,
+        )
+        if not _close(result.io_volume, report.io_volume):
+            raise ReplayMismatch(
+                f"{report.algorithm}: replayed I/O volume {result.io_volume:.6g} "
+                f"!= reported {report.io_volume:.6g}"
+            )
+    else:
+        partial = not bool(report.extras.get("completed", True))
+        result = replay_traversal(tree, report.traversal, partial=partial)
+        if report.io_volume:
+            raise ReplayMismatch(
+                f"{report.algorithm}: in-core report claims nonzero I/O volume "
+                f"{report.io_volume:.6g} without a schedule"
+            )
+    if not _close(result.peak_memory, report.peak_memory):
+        raise ReplayMismatch(
+            f"{report.algorithm}: replayed peak memory {result.peak_memory:.6g} "
+            f"!= reported {report.peak_memory:.6g}"
+        )
+    return result

@@ -1,0 +1,339 @@
+"""Scenario runner: execute the campaign and collect per-run metrics.
+
+:func:`run_scenarios` materialises every selected scenario's trees (seeded,
+so repeated runs use identical instances), fans the ``trees x algorithms``
+batch through :func:`repro.solvers.solve_many` (optionally across worker
+processes), repeats each batch ``repeat`` times after ``warmup`` discarded
+rounds, and collects one :class:`BenchRecord` per (scenario, instance,
+algorithm, budget) cell:
+
+* wall time: best and mean over the repeats, measured inside the solver via
+  ``perf_counter`` (the facade stamps ``SolveReport.wall_time``);
+* peak memory and I/O volume straight from the report;
+* the optimality ratio against the exact MinMemory reference (``minmem``,
+  itself part of the run or computed on demand);
+* replay validation: every report's schedule is re-executed by
+  :mod:`repro.bench.replay` and the recomputed metrics must match.
+
+Budgeted solvers (``explore``, the ``minio`` family) are additionally swept
+over the scenario's ``budget_fractions``, interpolating between the trivial
+lower bound ``max MemReq`` and the in-core optimal peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.tree import Tree
+from ..solvers.facade import solve_many
+from ..solvers.registry import get_solver
+from ..solvers.report import SolveReport
+from .replay import ReplayError, replay_report
+from .scenario import Scenario
+
+__all__ = ["BenchRecord", "BenchRun", "run_scenarios"]
+
+#: solver families that consume a main-memory budget
+_BUDGETED_FAMILIES = ("minio", "explore")
+
+#: the exact algorithm used as the optimality-ratio denominator
+REFERENCE_ALGORITHM = "minmem"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Metrics of one (scenario, instance, algorithm, budget) cell.
+
+    ``key`` uniquely identifies the cell across runs and machines, so two
+    artifacts can be diffed record by record.
+    """
+
+    scenario: str
+    family: str
+    instance: str
+    algorithm: str
+    nodes: int
+    peak_memory: float
+    io_volume: float
+    best_time: float
+    mean_time: float
+    repeats: int
+    optimality_ratio: Optional[float] = None
+    memory_limit: Optional[float] = None
+    budget_fraction: Optional[float] = None
+    replay_ok: bool = True
+    replay_error: Optional[str] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        budget = "" if self.budget_fraction is None else f"@{self.budget_fraction:g}"
+        return f"{self.scenario}/{self.instance}/{self.algorithm}{budget}"
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """Outcome of one benchmark campaign."""
+
+    records: Tuple[BenchRecord, ...]
+    seed: int
+    repeat: int
+    warmup: int
+    workers: Optional[int]
+    scenarios: Tuple[str, ...]
+
+    @property
+    def families(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.family for r in self.records}))
+
+    @property
+    def algorithms(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.algorithm for r in self.records}))
+
+    @property
+    def replay_failures(self) -> Tuple[BenchRecord, ...]:
+        return tuple(r for r in self.records if not r.replay_ok)
+
+    def format_table(self) -> str:
+        """Plain-text summary table (one line per record)."""
+        header = (
+            f"{'scenario/instance/algorithm':<58} {'nodes':>6} {'peak':>12} "
+            f"{'IO':>10} {'ratio':>7} {'best':>9} {'replay':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.records:
+            ratio = "-" if r.optimality_ratio is None else f"{r.optimality_ratio:.4f}"
+            lines.append(
+                f"{r.key:<58} {r.nodes:>6} {r.peak_memory:>12.6g} "
+                f"{r.io_volume:>10.6g} {ratio:>7} {r.best_time * 1e3:>7.2f}ms "
+                f"{'ok' if r.replay_ok else 'FAIL':>6}"
+            )
+        return "\n".join(lines)
+
+
+def _is_budgeted(algorithm: str) -> bool:
+    return get_solver(algorithm).family in _BUDGETED_FAMILIES
+
+
+def _budgets_for(
+    tree: Tree, reference_peak: float, fractions: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """(fraction, absolute memory) budgets between max MemReq and the peak."""
+    floor = tree.max_mem_req()
+    span = reference_peak - floor
+    if span <= 0:
+        # degenerate trees where the floor already fits the optimum: every
+        # fraction collapses to the same unconstrained bound, so label the
+        # single budget honestly as 1.0 rather than with the first fraction
+        return [(1.0, floor)]
+    budgets = []
+    seen = set()
+    for fraction in fractions:
+        memory = floor + fraction * span
+        if memory in seen:
+            continue
+        seen.add(memory)
+        budgets.append((float(fraction), memory))
+    return budgets or [(1.0, reference_peak)]
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    *,
+    seed: int = 0,
+    repeat: int = 1,
+    warmup: int = 0,
+    workers: Optional[int] = None,
+    validate: bool = True,
+) -> BenchRun:
+    """Execute ``scenarios`` and collect one record per benchmark cell.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenarios to run (see :func:`repro.bench.select_scenarios`).
+    seed:
+        Passed to every scenario builder; identical seeds build identical
+        instances.
+    repeat:
+        Timed rounds per batch; ``best_time``/``mean_time`` aggregate the
+        per-solver wall times over the rounds.  Metrics are taken from the
+        last round (all rounds are bit-identical, the solvers being
+        deterministic).
+    warmup:
+        Untimed rounds discarded before the ``repeat`` timed ones.
+    workers:
+        Worker processes for :func:`repro.solvers.solve_many` (``None`` =
+        serial).
+    validate:
+        Replay-validate every report (see :mod:`repro.bench.replay`).
+        Validation failures are recorded on the :class:`BenchRecord` rather
+        than raised, so one bad solver cannot sink a whole campaign.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    records: List[BenchRecord] = []
+    for scenario in scenarios:
+        records.extend(
+            _run_scenario(
+                scenario,
+                seed=seed,
+                repeat=repeat,
+                warmup=warmup,
+                workers=workers,
+                validate=validate,
+            )
+        )
+    return BenchRun(
+        records=tuple(records),
+        seed=seed,
+        repeat=repeat,
+        warmup=warmup,
+        workers=workers,
+        scenarios=tuple(s.name for s in scenarios),
+    )
+
+
+def _run_scenario(
+    scenario: Scenario,
+    *,
+    seed: int,
+    repeat: int,
+    warmup: int,
+    workers: Optional[int],
+    validate: bool,
+) -> List[BenchRecord]:
+    instances = scenario.build(seed)
+    trees = [tree for _, tree in instances]
+    plain = [a for a in scenario.algorithms if not _is_budgeted(a)]
+    budgeted = [a for a in scenario.algorithms if _is_budgeted(a)]
+    # the reference solver anchors optimality ratios and budget sweeps; run
+    # it even when the scenario did not list it explicitly
+    reference_in_run = REFERENCE_ALGORITHM in plain
+    if not reference_in_run:
+        plain = plain + [REFERENCE_ALGORITHM]
+
+    timings: Dict[Tuple[int, str], List[float]] = {}
+    for _ in range(warmup):  # discarded rounds (interpreter/cache warmup)
+        solve_many(trees, plain, workers=workers)
+    # solve_many stamps a perf_counter wall time on every report, so timed
+    # rounds simply repeat the batch and pool the per-solver stamps
+    rounds = [solve_many(trees, plain, workers=workers) for _ in range(repeat)]
+    batches = rounds[-1]
+    for round_reports in rounds:
+        for i, per_tree in enumerate(round_reports):
+            for name, report in per_tree.items():
+                timings.setdefault((i, name), []).append(report.wall_time)
+
+    records: List[BenchRecord] = []
+    for i, (instance_name, tree) in enumerate(instances):
+        reference = batches[i][REFERENCE_ALGORITHM]
+        reference_peak = reference.peak_memory
+        # hand the minio family the reference traversal and its peak so the
+        # timed rounds measure the scheduler alone, not a hidden re-run of
+        # the in-core base solver; explore ignores both (lenient dispatch)
+        budget_options = {
+            "traversal": reference.traversal,
+            "in_core_peak": reference_peak,
+        }
+        for name in plain:
+            if name == REFERENCE_ALGORITHM and not reference_in_run:
+                continue
+            report = batches[i][name]
+            times = timings[(i, name)]
+            records.append(
+                _make_record(
+                    scenario,
+                    instance_name,
+                    tree,
+                    report,
+                    times,
+                    reference_peak=reference_peak,
+                    validate=validate,
+                )
+            )
+        for name in budgeted:
+            for fraction, memory in _budgets_for(
+                tree, reference_peak, scenario.budget_fractions
+            ):
+                times = []
+                report = None
+                for _ in range(warmup):
+                    solve_many(
+                        [tree], name, memory=memory, workers=workers,
+                        **budget_options,
+                    )
+                for _ in range(repeat):
+                    (per_tree,) = solve_many(
+                        [tree], name, memory=memory, workers=workers,
+                        **budget_options,
+                    )
+                    report = per_tree[name]
+                    times.append(report.wall_time)
+                assert report is not None
+                records.append(
+                    _make_record(
+                        scenario,
+                        instance_name,
+                        tree,
+                        report,
+                        times,
+                        reference_peak=reference_peak,
+                        validate=validate,
+                        memory_limit=memory,
+                        budget_fraction=fraction,
+                    )
+                )
+    return records
+
+
+def _make_record(
+    scenario: Scenario,
+    instance_name: str,
+    tree: Tree,
+    report: SolveReport,
+    times: Sequence[float],
+    *,
+    reference_peak: float,
+    validate: bool,
+    memory_limit: Optional[float] = None,
+    budget_fraction: Optional[float] = None,
+) -> BenchRecord:
+    replay_ok, replay_error = True, None
+    if validate:
+        try:
+            replay_report(tree, report)
+        except ReplayError as exc:
+            replay_ok, replay_error = False, str(exc)
+    ratio = None
+    if memory_limit is None and reference_peak > 0:
+        # in-core solvers compete on peak memory; budgeted runs (minio,
+        # explore -- possibly partial) compete on I/O volume under a bound,
+        # where a peak ratio would be meaningless or misleading
+        ratio = report.peak_memory / reference_peak
+    extras = {
+        key: value
+        for key, value in report.extras.items()
+        if isinstance(value, (int, float, str, bool)) or value is None
+    }
+    return BenchRecord(
+        scenario=scenario.name,
+        family=scenario.family,
+        instance=instance_name,
+        algorithm=report.algorithm,
+        nodes=tree.size,
+        peak_memory=report.peak_memory,
+        io_volume=report.io_volume,
+        best_time=min(times),
+        mean_time=sum(times) / len(times),
+        repeats=len(times),
+        optimality_ratio=ratio,
+        memory_limit=memory_limit,
+        budget_fraction=budget_fraction,
+        replay_ok=replay_ok,
+        replay_error=replay_error,
+        extras=extras,
+    )

@@ -1,0 +1,195 @@
+"""Scenario model and decorator-based registry for the benchmark harness.
+
+A *scenario* names one cell of the paper's experimental campaign: a family
+of trees (random shapes, harpoons, synthetic assembly trees, MatrixMarket
+round-tripped elimination trees, ...), the algorithms to run on them, and --
+for the budgeted out-of-core solvers -- the memory budgets to sweep.  The
+tree *builder* is a plain function ``seed -> [(instance_name, Tree), ...]``;
+it receives the run seed so that repeated runs benchmark bit-identical
+instances (see :mod:`repro.generators.random_trees`).
+
+Scenarios register themselves with the :func:`register_scenario` decorator,
+mirroring :func:`repro.solvers.register_solver`::
+
+    from repro.bench import register_scenario
+
+    @register_scenario(
+        "chains",
+        family="synthetic",
+        algorithms=("postorder", "liu", "minmem"),
+        summary="unit-weight chains of increasing length",
+    )
+    def _chains(seed):
+        return [(f"chain-{n}", chain_tree(n)) for n in (32, 128)]
+
+``repro bench --list`` enumerates the registry; ``--filter`` selects by
+substring on the scenario name, family or tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.tree import Tree
+from ..solvers.registry import get_solver
+
+__all__ = [
+    "Scenario",
+    "UnknownScenarioError",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_table",
+    "select_scenarios",
+]
+
+TreeBuilder = Callable[[int], Sequence[Tuple[str, Tree]]]
+
+#: memory budgets swept by budgeted solvers, as fractions of the gap between
+#: the trivial lower bound ``max MemReq`` and the in-core peak of the
+#: reference traversal (0.0 = tightest feasible memory, 1.0 = fits in-core)
+DEFAULT_BUDGET_FRACTIONS = (0.25, 0.75)
+
+
+class UnknownScenarioError(ValueError):
+    """Raised when a scenario name does not resolve to a registered entry."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario.
+
+    Attributes
+    ----------
+    name:
+        Canonical (lowercase) registry name.
+    family:
+        Tree family the scenario sweeps (``"random"``, ``"harpoon"``,
+        ``"assembly"``, ``"etree"``, ``"synthetic"``, ...).
+    builder:
+        ``seed -> [(instance_name, tree), ...]``; must be deterministic in
+        ``seed``.
+    algorithms:
+        Registry names of the solvers to run on every instance.
+    budget_fractions:
+        Memory budgets for the budgeted solvers (``explore``, the ``minio``
+        family), as fractions interpolating between ``max MemReq`` (0.0) and
+        the in-core peak of the reference solver (1.0).  Ignored by
+        unbudgeted algorithms, which run exactly once per instance.
+    summary:
+        One-line human description.
+    tags:
+        Free-form labels matched by ``--filter`` (e.g. ``"smoke"``).
+    smoke:
+        True when the scenario is small enough for the CI smoke job.
+    """
+
+    name: str
+    family: str
+    builder: TreeBuilder
+    algorithms: Tuple[str, ...]
+    budget_fractions: Tuple[float, ...] = DEFAULT_BUDGET_FRACTIONS
+    summary: str = ""
+    tags: Tuple[str, ...] = ()
+    smoke: bool = False
+
+    def build(self, seed: int = 0) -> List[Tuple[str, Tree]]:
+        """Materialise the scenario's instances for ``seed``."""
+        instances = list(self.builder(seed))
+        if not instances:
+            raise ValueError(f"scenario {self.name!r} built no instances")
+        return instances
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("-", "_")
+
+
+def register_scenario(
+    name: str,
+    *,
+    family: str,
+    algorithms: Sequence[str],
+    budget_fractions: Sequence[float] = DEFAULT_BUDGET_FRACTIONS,
+    summary: str = "",
+    tags: Sequence[str] = (),
+    smoke: bool = False,
+) -> Callable[[TreeBuilder], TreeBuilder]:
+    """Decorator adding a scenario to the global registry.
+
+    Algorithm names are canonicalised through the solver registry at
+    registration time, so a typo fails at import rather than mid-run.
+    Re-registering a name replaces the previous entry (safe reloads).
+    """
+
+    def decorator(builder: TreeBuilder) -> TreeBuilder:
+        canonical = _normalize(name)
+        doc = (builder.__doc__ or "").strip().splitlines()
+        _REGISTRY[canonical] = Scenario(
+            name=canonical,
+            family=family,
+            builder=builder,
+            algorithms=tuple(get_solver(a).name for a in algorithms),
+            budget_fractions=tuple(float(b) for b in budget_fractions),
+            summary=summary or (doc[0] if doc else canonical),
+            tags=tuple(tags),
+            smoke=smoke,
+        )
+        return builder
+
+    return decorator
+
+
+def get_scenario(name: str) -> Scenario:
+    """Resolve a scenario name (case-insensitive) to its registry entry."""
+    canonical = _normalize(name)
+    if canonical not in _REGISTRY:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; expected one of {list_scenarios()}"
+        )
+    return _REGISTRY[canonical]
+
+
+def list_scenarios(family: Optional[str] = None) -> List[str]:
+    """Sorted names of the registered scenarios (optionally by family)."""
+    return sorted(
+        s.name for s in _REGISTRY.values() if family is None or s.family == family
+    )
+
+
+def scenario_table() -> List[Scenario]:
+    """All registered scenarios, sorted by (family, name) for display."""
+    return sorted(_REGISTRY.values(), key=lambda s: (s.family, s.name))
+
+
+def select_scenarios(
+    pattern: Optional[str] = None,
+    *,
+    smoke: bool = False,
+) -> List[Scenario]:
+    """Scenarios matched by a ``--filter`` pattern and/or the smoke flag.
+
+    ``pattern`` is a case-insensitive substring matched against the scenario
+    name, its family, its tags and its algorithm names; ``None`` matches
+    everything.  With ``smoke`` only smoke-sized scenarios are kept.
+    """
+    needle = None if pattern is None else pattern.strip().lower()
+    out = []
+    for scenario in scenario_table():
+        if smoke and not scenario.smoke:
+            continue
+        if needle:
+            haystack = (
+                scenario.name,
+                scenario.family,
+                *scenario.tags,
+                *scenario.algorithms,
+            )
+            if not any(needle in item.lower() for item in haystack):
+                continue
+        out.append(scenario)
+    return out

@@ -1,0 +1,191 @@
+"""Built-in benchmark scenarios.
+
+Importing this module populates the scenario registry with the default
+campaign: five tree families mirroring the paper's experimental section,
+each swept over sizes and run with the three MinMemory algorithms
+(PostOrder, Liu, MinMem) plus -- where out-of-core behaviour matters -- the
+budgeted solvers (``explore`` and the MinIO eviction heuristics).
+
+=================  ==========  ===================================================
+scenario           family      trees
+=================  ==========  ===================================================
+``synthetic``      synthetic   deterministic shapes: balanced k-ary, brooms,
+                               bamboo-with-bushes, Sethi--Ullman expression trees
+``random``         random      uniform/recent attachment, random binary,
+                               caterpillars, with Section VI-E random weights
+``harpoon``        harpoon     iterated harpoons of Theorem 1 (worst cases for
+                               postorder traversals)
+``assembly``       assembly    assembly trees of synthetic SPD matrices
+                               (orderings x relaxed amalgamation)
+``etree``          etree       elimination trees of matrices round-tripped
+                               through the MatrixMarket format
+=================  ==========  ===================================================
+
+Every builder takes the run ``seed`` and threads it into the random-tree
+generators, so two runs with the same seed benchmark identical instances.
+Scenarios marked ``smoke`` are small enough for the CI smoke job
+(``repro bench --smoke``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+from ..core.builders import chain_tree, star_tree
+from ..core.tree import Tree
+from ..generators.harpoon import harpoon_tree, iterated_harpoon_tree
+from ..generators.random_trees import (
+    random_attachment_tree,
+    random_binary_tree,
+    random_caterpillar,
+    random_recent_attachment_tree,
+    reweight_random,
+)
+from ..generators.synthetic import (
+    balanced_tree,
+    bamboo_with_bushes,
+    broom_tree,
+    full_binary_expression_tree,
+)
+from .scenario import register_scenario
+
+__all__ = ["MINMEMORY_ALGORITHMS", "BUDGETED_ALGORITHMS"]
+
+#: the three MinMemory solvers compared throughout the paper
+MINMEMORY_ALGORITHMS = ("postorder", "liu", "minmem")
+
+#: budgeted solvers added on families where out-of-core behaviour matters
+BUDGETED_ALGORITHMS = ("explore", "minio_first_fit", "minio_lsnf")
+
+
+# ----------------------------------------------------------------------
+# synthetic: deterministic parametric shapes
+# ----------------------------------------------------------------------
+@register_scenario(
+    "synthetic",
+    family="synthetic",
+    algorithms=MINMEMORY_ALGORITHMS + ("minio_first_fit",),
+    summary="deterministic parametric shapes (balanced, broom, bamboo, Sethi-Ullman)",
+    tags=("deterministic",),
+    smoke=True,
+)
+def _synthetic(seed: int) -> List[Tuple[str, Tree]]:
+    del seed  # fully deterministic family
+    return [
+        ("balanced-3x4", balanced_tree(3, 4, f=2.0, n=1.0)),
+        ("broom-40x8", broom_tree(40, 8, f=3.0, n=1.0)),
+        ("bamboo-24x4", bamboo_with_bushes(24, 4, f_spine=2.0, f_bush=5.0, n=1.0)),
+        ("sethi-ullman-6", full_binary_expression_tree(6)),
+        ("chain-96", chain_tree(96, f=2.0, n=1.0)),
+        ("star-64", star_tree(64, leaf_f=3.0, n=1.0)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# random: seeded random shapes with Section VI-E weights
+# ----------------------------------------------------------------------
+@register_scenario(
+    "random",
+    family="random",
+    algorithms=MINMEMORY_ALGORITHMS + BUDGETED_ALGORITHMS,
+    summary="seeded random shapes (attachment, binary, caterpillar) with VI-E weights",
+    tags=("seeded",),
+    smoke=True,
+)
+def _random(seed: int) -> List[Tuple[str, Tree]]:
+    instances = [
+        ("attachment-120", random_attachment_tree(120, seed=seed)),
+        ("deep-120", random_recent_attachment_tree(120, seed=seed + 1, window=8)),
+        ("binary-48", random_binary_tree(48, seed=seed + 2)),
+        ("caterpillar-40", random_caterpillar(40, seed=seed + 3, max_leaves=3)),
+    ]
+    # the Section VI-E protocol: keep every shape, redraw the weights
+    instances += [
+        (f"reweighted-{name}", reweight_random(tree, seed=seed + 100 + i))
+        for i, (name, tree) in enumerate(instances)
+    ]
+    return instances
+
+
+# ----------------------------------------------------------------------
+# harpoon: the paper's postorder worst cases (Theorem 1)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "harpoon",
+    family="harpoon",
+    algorithms=MINMEMORY_ALGORITHMS,
+    summary="iterated harpoons of Theorem 1 (postorder worst cases)",
+    tags=("deterministic", "worst-case"),
+    smoke=True,
+)
+def _harpoon(seed: int) -> List[Tuple[str, Tree]]:
+    del seed  # fully deterministic family
+    return [
+        ("harpoon-b4", harpoon_tree(4, memory=16.0, epsilon=0.5)),
+        ("harpoon-b8", harpoon_tree(8, memory=64.0, epsilon=0.25)),
+        ("iterated-b3-l3", iterated_harpoon_tree(3, levels=3, memory=27.0, epsilon=0.5)),
+        ("iterated-b4-l2", iterated_harpoon_tree(4, levels=2, memory=32.0, epsilon=0.5)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# assembly: multifrontal assembly trees of synthetic SPD matrices
+# ----------------------------------------------------------------------
+@register_scenario(
+    "assembly",
+    family="assembly",
+    algorithms=MINMEMORY_ALGORITHMS + ("minio_first_fit", "minio_lsnf"),
+    summary="assembly trees of synthetic SPD matrices (orderings x amalgamation)",
+    tags=("sparse",),
+    smoke=True,
+)
+def _assembly(seed: int) -> List[Tuple[str, Tree]]:
+    del seed  # the matrix suite and orderings are deterministic
+    from ..analysis.datasets import assembly_tree_dataset
+
+    return [
+        (instance.name, instance.tree)
+        for instance in assembly_tree_dataset("tiny")
+    ]
+
+
+# ----------------------------------------------------------------------
+# etree: elimination trees round-tripped through MatrixMarket files
+# ----------------------------------------------------------------------
+def _etree_instance(name: str, matrix, tmpdir: str) -> Tuple[str, Tree]:
+    """Round-trip ``matrix`` through a .mtx file and build its etree."""
+    from ..sparse.etree import elimination_tree, etree_to_task_tree
+    from ..sparse.mmio import read_matrix_market, write_matrix_market
+
+    path = Path(tmpdir) / f"{name}.mtx"
+    write_matrix_market(matrix, path, symmetric=True)
+    loaded = read_matrix_market(path)
+    parent = elimination_tree(loaded)
+    csc = loaded.tocsc()
+    # column nonzero counts stand in for contribution-block / frontal sizes
+    counts = [float(csc.indptr[j + 1] - csc.indptr[j]) for j in range(csc.shape[0])]
+    tree = etree_to_task_tree(parent, f=counts, n_weights=[1.0] * len(parent))
+    tree.set_f(tree.root, 0.0)  # no file above the root
+    return name, tree
+
+
+@register_scenario(
+    "etree",
+    family="etree",
+    algorithms=MINMEMORY_ALGORITHMS,
+    summary="elimination trees of matrices round-tripped through MatrixMarket",
+    tags=("sparse", "mmio"),
+    smoke=True,
+)
+def _etree(seed: int) -> List[Tuple[str, Tree]]:
+    from ..sparse.matrices import banded_spd, grid_laplacian_2d, random_spd
+
+    matrices = [
+        ("grid2d-10", grid_laplacian_2d(10)),
+        ("banded-100", banded_spd(100, bandwidth=4, seed=seed + 3)),
+        ("random-80", random_spd(80, density=0.05, seed=seed + 7)),
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-etree-") as tmpdir:
+        return [_etree_instance(name, matrix, tmpdir) for name, matrix in matrices]

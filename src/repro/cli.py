@@ -13,7 +13,13 @@
 * ``repro-treemem dataset --scale small --output DIR`` -- materialise the
   assembly-tree and random-tree data sets as JSON files;
 * ``repro-treemem experiment fig5|fig6|fig7|fig8|fig9|table1|table2|harpoon``
-  -- regenerate one of the paper's tables or figures and print it.
+  -- regenerate one of the paper's tables or figures and print it;
+* ``repro-treemem bench [--filter PAT] [--json] [--repeat N]`` -- run the
+  scenario-sweep benchmark campaign (``--list`` enumerates the scenarios),
+  replay-validate every schedule and optionally persist a schema-versioned
+  ``BENCH_<timestamp>.json`` artifact;
+* ``repro-treemem bench --compare OLD.json NEW.json`` -- diff two benchmark
+  artifacts and exit non-zero on a regression.
 
 Every subcommand dispatches through the :mod:`repro.solvers` registry, so
 solvers registered by third-party code (imported before :func:`main` runs)
@@ -56,9 +62,14 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """Create the argument parser (exposed for testing and documentation)."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-treemem",
         description="Memory-optimal tree traversals for sparse matrix factorization",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -101,6 +112,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--workers", type=int, default=None,
                        help="worker processes for the experiment batch (default: serial)")
+
+    p_bench = sub.add_parser(
+        "bench", help="run the scenario-sweep benchmarks (see repro.bench)"
+    )
+    p_bench.add_argument("--list", action="store_true", dest="list_scenarios",
+                         help="list the registered scenarios and exit")
+    p_bench.add_argument("--filter", default=None, metavar="PATTERN",
+                         help="substring matched against scenario names, families, "
+                              "tags and algorithms")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="restrict to the tiny smoke scenarios (CI gate)")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="seed threaded into the scenario builders (default: 0)")
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="timed rounds per batch (default: 1)")
+    p_bench.add_argument("--warmup", type=int, default=0,
+                         help="untimed warmup rounds before timing (default: 0)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the solver batches (default: serial)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="persist a schema-versioned BENCH_<timestamp>.json artifact")
+    p_bench.add_argument("--output", type=Path, default=None, metavar="PATH",
+                         help="artifact path (implies --json; default: "
+                              "BENCH_<timestamp>.json in the current directory)")
+    p_bench.add_argument("--no-validate", action="store_true",
+                         help="skip schedule-replay validation (faster, unchecked)")
+    p_bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                         help="diff two BENCH artifacts instead of running; "
+                              "exits 1 on regressions")
+    p_bench.add_argument("--time-threshold", type=float, default=None, metavar="FRAC",
+                         help="relative slowdown flagged as a timing regression "
+                              "by --compare (default: 0.25)")
     return parser
 
 
@@ -119,6 +162,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_dataset(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except UnknownSolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -222,6 +267,66 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
             save_tree(instance.tree, path)
             count += 1
     print(f"wrote {count} trees to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # imported lazily: the bench package pulls in the dataset builders,
+    # which the other subcommands do not need
+    from . import bench
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            threshold = args.time_threshold
+            if threshold is None:
+                from .bench.artifact import DEFAULT_TIME_THRESHOLD as threshold
+            comparison = bench.compare_artifacts(
+                bench.load_artifact(old_path),
+                bench.load_artifact(new_path),
+                time_threshold=threshold,
+            )
+        except (bench.ArtifactError, OSError) as exc:
+            # exit 2 for unusable inputs, so callers can tell "could not
+            # compare" apart from "compared and found regressions" (exit 1)
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(comparison.format_report())
+        return 0 if comparison.ok else 1
+
+    if args.list_scenarios:
+        print(f"{'name':<14} {'family':<10} {'smoke':<6} summary")
+        for scenario in bench.scenario_table():
+            smoke = "yes" if scenario.smoke else "no"
+            print(f"{scenario.name:<14} {scenario.family:<10} {smoke:<6} "
+                  f"{scenario.summary}")
+        return 0
+
+    if args.repeat < 1 or args.warmup < 0:
+        print("error: --repeat must be >= 1 and --warmup >= 0", file=sys.stderr)
+        return 2
+    scenarios = bench.select_scenarios(args.filter, smoke=args.smoke)
+    if not scenarios:
+        print(f"error: no scenario matches filter {args.filter!r}", file=sys.stderr)
+        return 2
+    run = bench.run_scenarios(
+        scenarios,
+        seed=args.seed,
+        repeat=args.repeat,
+        warmup=args.warmup,
+        workers=args.workers,
+        validate=not args.no_validate,
+    )
+    print(run.format_table())
+    if args.json or args.output is not None:
+        path = bench.write_artifact(run, args.output)
+        print(f"\nwrote {len(run.records)} records to {path}")
+    failures = run.replay_failures
+    if failures:
+        for record in failures:
+            print(f"replay FAILED  {record.key}: {record.replay_error}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

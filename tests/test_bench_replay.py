@@ -1,0 +1,200 @@
+"""The replay engine as a cross-solver oracle.
+
+Every registered algorithm's report must survive an independent replay: the
+engine re-executes the schedule with its own memory accounting and the
+recomputed peak memory / I/O volume must match the solver's claim exactly.
+Corrupted schedules and tampered reports must raise.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from _helpers import make_random_tree
+from repro.bench.replay import (
+    ReplayError,
+    ReplayMismatch,
+    replay_report,
+    replay_schedule,
+    replay_traversal,
+)
+from repro.core.traversal import (
+    BOTTOMUP,
+    TOPDOWN,
+    OutOfCoreSchedule,
+    Traversal,
+    check_out_of_core,
+    peak_memory,
+)
+from repro.generators.harpoon import harpoon_tree
+from repro.generators.synthetic import balanced_tree, broom_tree
+from repro.solvers import list_solvers, solve
+
+
+def sample_trees():
+    rng = random.Random(42)
+    return [
+        ("balanced", balanced_tree(3, 3, f=2.0, n=1.0)),
+        ("broom", broom_tree(12, 5, f=3.0, n=1.0)),
+        ("harpoon", harpoon_tree(4, memory=16.0, epsilon=0.5)),
+        ("random", make_random_tree(60, rng)),
+    ]
+
+
+def budget_for(tree):
+    """A memory bound strictly between the floor and the in-core optimum."""
+    floor = tree.max_mem_req()
+    peak = solve(tree, "minmem").peak_memory
+    return floor + 0.3 * (peak - floor)
+
+
+class TestCrossSolverOracle:
+    @pytest.mark.parametrize("algorithm", list_solvers())
+    @pytest.mark.parametrize("name,tree", sample_trees(), ids=lambda v: v if isinstance(v, str) else "")
+    def test_every_solver_replays_exactly(self, algorithm, name, tree):
+        report = solve(tree, algorithm, memory=budget_for(tree))
+        result = replay_report(tree, report)
+        assert result.peak_memory == pytest.approx(report.peak_memory, rel=1e-9)
+        assert result.io_volume == pytest.approx(report.io_volume, rel=1e-9)
+
+    def test_partial_explore_run_replays(self):
+        # two heavy stars under the root: expanding either star needs its
+        # full MemReq while the other star's file stays resident, so
+        # max MemReq is not enough to finish and explore stops partway
+        from repro.core.tree import Tree
+
+        tree = Tree()
+        tree.add_node("root", f=0.0, n=0.0)
+        for branch in ("A", "B"):
+            tree.add_node(branch, parent="root", f=10.0, n=0.0)
+            for leaf in range(5):
+                tree.add_node(f"{branch}{leaf}", parent=branch, f=10.0, n=0.0)
+        report = solve(tree, "explore", memory=tree.max_mem_req())
+        assert not report.extras["completed"]
+        result = replay_report(tree, report)
+        assert not result.complete
+        assert result.steps == len(report.traversal)
+
+    def test_tampered_peak_raises(self, paper_figure1_tree):
+        report = solve(paper_figure1_tree, "minmem")
+        forged = replace(report, peak_memory=report.peak_memory - 1.0)
+        with pytest.raises(ReplayMismatch):
+            replay_report(paper_figure1_tree, forged)
+
+    def test_tampered_io_volume_raises(self):
+        tree = harpoon_tree(4, memory=16.0, epsilon=0.5)
+        report = solve(tree, "minio", memory=budget_for(tree))
+        assert report.schedule is not None and report.io_volume > 0
+        forged = replace(report, io_volume=report.io_volume + 1.0)
+        with pytest.raises(ReplayMismatch):
+            replay_report(tree, forged)
+
+    def test_incore_report_with_phantom_io_raises(self, paper_figure1_tree):
+        report = solve(paper_figure1_tree, "liu")
+        forged = replace(report, io_volume=5.0)
+        with pytest.raises(ReplayMismatch):
+            replay_report(paper_figure1_tree, forged)
+
+
+class TestReplayTraversal:
+    def test_matches_memory_profile_both_conventions(self):
+        rng = random.Random(7)
+        tree = make_random_tree(40, rng)
+        for convention in (TOPDOWN, BOTTOMUP):
+            order = (
+                tree.topological_order()
+                if convention == TOPDOWN
+                else tree.bottom_up_order()
+            )
+            traversal = Traversal(tuple(order), convention)
+            expected = peak_memory(tree, traversal)
+            assert replay_traversal(tree, traversal).peak_memory == pytest.approx(expected)
+
+    def test_precedence_violation_raises(self, paper_figure1_tree):
+        order = list(paper_figure1_tree.topological_order())
+        order[0], order[-1] = order[-1], order[0]
+        with pytest.raises(ReplayError):
+            replay_traversal(paper_figure1_tree, Traversal(tuple(order), TOPDOWN))
+
+    def test_duplicate_node_raises(self, paper_figure1_tree):
+        order = paper_figure1_tree.topological_order()
+        order[-1] = order[0]
+        with pytest.raises(ReplayError, match="twice"):
+            replay_traversal(paper_figure1_tree, Traversal(tuple(order), TOPDOWN))
+
+    def test_incomplete_order_needs_partial_flag(self, paper_figure1_tree):
+        prefix = tuple(paper_figure1_tree.topological_order()[:4])
+        traversal = Traversal(prefix, TOPDOWN)
+        with pytest.raises(ReplayError):
+            replay_traversal(paper_figure1_tree, traversal)
+        result = replay_traversal(paper_figure1_tree, traversal, partial=True)
+        assert result.steps == 4 and not result.complete
+
+    def test_partial_bottomup_is_rejected(self, paper_figure1_tree):
+        prefix = tuple(paper_figure1_tree.bottom_up_order()[:4])
+        with pytest.raises(ReplayError):
+            replay_traversal(
+                paper_figure1_tree, Traversal(prefix, BOTTOMUP), partial=True
+            )
+
+
+class TestReplaySchedule:
+    def make_schedule(self, tree):
+        report = solve(tree, "minio", memory=budget_for(tree))
+        return report, report.extras["memory_limit"]
+
+    def test_agrees_with_algorithm2_checker(self):
+        tree = harpoon_tree(5, memory=20.0, epsilon=0.5)
+        report, memory = self.make_schedule(tree)
+        feasible, io = check_out_of_core(tree, memory, report.schedule)
+        assert feasible
+        result = replay_schedule(tree, report.schedule, memory=memory)
+        assert result.io_volume == pytest.approx(io)
+        assert result.evictions == len(report.schedule.evictions)
+
+    def test_eviction_after_execution_raises(self):
+        tree = harpoon_tree(5, memory=20.0, epsilon=0.5)
+        report, memory = self.make_schedule(tree)
+        evictions = dict(report.schedule.evictions)
+        assert evictions, "expected a schedule with at least one eviction"
+        victim = next(iter(evictions))
+        position = report.schedule.traversal.position()
+        evictions[victim] = position[victim]  # tau(i) == sigma(i): illegal
+        corrupted = OutOfCoreSchedule(report.schedule.traversal, evictions)
+        with pytest.raises(ReplayError):
+            replay_schedule(tree, corrupted, memory=memory)
+
+    def test_eviction_before_production_raises(self):
+        tree = harpoon_tree(5, memory=20.0, epsilon=0.5)
+        report, memory = self.make_schedule(tree)
+        traversal = report.schedule.traversal
+        # evict a leaf's file at step 0: its parent has not executed yet
+        # (unless the victim is a child of the root executed at step 0)
+        deep = max(traversal.order, key=lambda v: tree.depth(v))
+        corrupted = OutOfCoreSchedule(traversal, {deep: 1})
+        with pytest.raises(ReplayError, match="not resident"):
+            replay_schedule(tree, corrupted, memory=memory)
+
+    def test_memory_bound_violation_raises(self):
+        tree = harpoon_tree(5, memory=20.0, epsilon=0.5)
+        report, memory = self.make_schedule(tree)
+        # stripping all evictions makes the in-core replay exceed the bound
+        bare = OutOfCoreSchedule(report.schedule.traversal, {})
+        assert report.schedule.evictions
+        with pytest.raises(ReplayError, match="memory bound"):
+            replay_schedule(tree, bare, memory=memory)
+        unbounded = replay_schedule(tree, bare, memory=None)
+        assert unbounded.io_volume == 0.0
+
+    def test_unknown_victim_raises(self, paper_figure1_tree):
+        traversal = Traversal(tuple(paper_figure1_tree.topological_order()), TOPDOWN)
+        corrupted = OutOfCoreSchedule(traversal, {"nope": 1})
+        with pytest.raises(ReplayError, match="unknown"):
+            replay_schedule(paper_figure1_tree, corrupted)
+
+    def test_non_permutation_raises(self, paper_figure1_tree):
+        order = tuple(paper_figure1_tree.topological_order()[:-1])
+        corrupted = OutOfCoreSchedule(Traversal(order, TOPDOWN), {})
+        with pytest.raises(ReplayError, match="permutation"):
+            replay_schedule(paper_figure1_tree, corrupted)

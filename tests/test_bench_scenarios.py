@@ -1,0 +1,197 @@
+"""Scenario registry, seed determinism and the benchmark runner."""
+
+import pytest
+
+from repro.bench.runner import run_scenarios
+from repro.bench.scenario import (
+    Scenario,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_table,
+    select_scenarios,
+)
+from repro.core.builders import chain_tree
+from repro.generators.random_trees import random_attachment_tree
+from repro.solvers import UnknownSolverError
+
+
+def make_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        name="unit",
+        family="synthetic",
+        builder=lambda seed: [("chain-8", chain_tree(8, f=2.0, n=1.0))],
+        algorithms=("postorder", "liu", "minmem"),
+        budget_fractions=(0.5,),
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestRegistry:
+    def test_builtin_campaign_registered(self):
+        # importing repro.bench registers the five default families
+        import repro.bench  # noqa: F401
+
+        names = list_scenarios()
+        for expected in ("synthetic", "random", "harpoon", "assembly", "etree"):
+            assert expected in names
+        families = {s.family for s in scenario_table()}
+        assert len(families) >= 4
+
+    def test_register_and_get(self):
+        @register_scenario(
+            "Unit-Test-Scenario",
+            family="synthetic",
+            algorithms=("MinMem",),  # aliases canonicalise at registration
+            summary="one chain",
+        )
+        def _build(seed):
+            return [("chain", chain_tree(4))]
+
+        scenario = get_scenario("unit_test_scenario")
+        assert scenario.algorithms == ("minmem",)
+        assert scenario.build(0)[0][0] == "chain"
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(UnknownScenarioError):
+            get_scenario("no-such-scenario")
+
+    def test_unknown_algorithm_fails_at_registration(self):
+        with pytest.raises(UnknownSolverError):
+            register_scenario(
+                "broken", family="synthetic", algorithms=("not_an_algorithm",)
+            )(lambda seed: [])
+
+    def test_select_by_filter_and_smoke(self):
+        import repro.bench  # noqa: F401
+
+        assert [s.name for s in select_scenarios("harpoon")] == ["harpoon"]
+        # filters also match family names, tags and algorithm names
+        assert {s.name for s in select_scenarios("minmem")} >= {"harpoon", "random"}
+        smoke = select_scenarios(smoke=True)
+        assert smoke and all(s.smoke for s in smoke)
+        assert select_scenarios("zzz-no-match") == []
+
+    def test_empty_builder_rejected(self):
+        scenario = make_scenario(builder=lambda seed: [])
+        with pytest.raises(ValueError, match="no instances"):
+            scenario.build(0)
+
+
+class TestSeedDeterminism:
+    def test_same_seed_identical_instances(self):
+        import repro.bench  # noqa: F401
+
+        scenario = get_scenario("random")
+        first = scenario.build(seed=123)
+        second = scenario.build(seed=123)
+        assert [name for name, _ in first] == [name for name, _ in second]
+        for (_, a), (_, b) in zip(first, second):
+            assert a == b  # Tree equality covers structure and weights
+
+    def test_different_seed_different_instances(self):
+        import repro.bench  # noqa: F401
+
+        scenario = get_scenario("random")
+        trees_a = dict(scenario.build(seed=1))
+        trees_b = dict(scenario.build(seed=2))
+        assert any(trees_a[name] != trees_b[name] for name in trees_a)
+
+
+class TestRunner:
+    def test_records_and_ratios(self):
+        run = run_scenarios([make_scenario()], seed=0, repeat=2)
+        assert run.repeat == 2
+        by_alg = {r.algorithm: r for r in run.records}
+        assert set(by_alg) == {"postorder", "liu", "minmem"}
+        for record in run.records:
+            assert record.repeats == 2
+            assert record.replay_ok, record.replay_error
+            assert record.best_time <= record.mean_time
+            assert record.optimality_ratio >= 1.0 - 1e-9
+            assert record.key == f"unit/chain-8/{record.algorithm}"
+        assert by_alg["minmem"].optimality_ratio == pytest.approx(1.0)
+
+    def test_budgeted_sweep(self):
+        scenario = make_scenario(
+            algorithms=("minmem", "minio_first_fit"),
+            budget_fractions=(0.25, 0.75),
+            builder=lambda seed: [
+                ("rand-40", random_attachment_tree(40, seed=seed))
+            ],
+        )
+        run = run_scenarios([scenario], seed=5)
+        budgeted = [r for r in run.records if r.algorithm == "minio_first_fit"]
+        assert [r.budget_fraction for r in budgeted] == [0.25, 0.75]
+        for record in budgeted:
+            assert record.memory_limit is not None
+            assert record.replay_ok, record.replay_error
+            assert record.peak_memory <= record.memory_limit * (1 + 1e-9)
+        # a tighter budget can only cost more I/O
+        assert budgeted[0].io_volume >= budgeted[1].io_volume - 1e-9
+        # the scheduler replays the reference traversal rather than hiding a
+        # re-run of the in-core base solver inside the timed rounds
+        assert all(
+            r.extras.get("traversal_algorithm") == "given" for r in budgeted
+        )
+
+    def test_budgeted_records_carry_no_optimality_ratio(self):
+        # a budget-limited run (possibly a partial explore prefix) must not
+        # be ranked against the in-core optimum: a prefix peak below the
+        # MinMem optimum would read as "better than optimal"
+        scenario = make_scenario(
+            algorithms=("minmem", "explore", "minio_first_fit"),
+            budget_fractions=(0.25,),
+            builder=lambda seed: [
+                ("rand-40", random_attachment_tree(40, seed=seed))
+            ],
+        )
+        run = run_scenarios([scenario], seed=3)
+        for record in run.records:
+            if record.budget_fraction is None:
+                assert record.optimality_ratio is not None
+            else:
+                assert record.optimality_ratio is None
+
+    def test_degenerate_budget_labeled_unconstrained(self):
+        # chain trees have floor == in-core peak: every fraction collapses
+        # to the same unconstrained bound, which must be labeled 1.0
+        scenario = make_scenario(
+            algorithms=("minmem", "minio_first_fit"),
+            budget_fractions=(0.25, 0.75),
+        )
+        run = run_scenarios([scenario])
+        budgeted = [r for r in run.records if r.algorithm == "minio_first_fit"]
+        (record,) = budgeted
+        assert record.budget_fraction == 1.0
+        assert record.io_volume == 0.0
+
+    def test_reference_added_when_missing(self):
+        scenario = make_scenario(algorithms=("postorder",))
+        run = run_scenarios([scenario])
+        assert {r.algorithm for r in run.records} == {"postorder"}
+        (record,) = run.records
+        assert record.optimality_ratio >= 1.0 - 1e-9
+
+    def test_identical_seeds_identical_metrics(self):
+        scenario = make_scenario(
+            builder=lambda seed: [("rand-30", random_attachment_tree(30, seed=seed))]
+        )
+        run_a = run_scenarios([scenario], seed=9)
+        run_b = run_scenarios([scenario], seed=9)
+        for a, b in zip(run_a.records, run_b.records):
+            assert (a.key, a.peak_memory, a.io_volume) == (b.key, b.peak_memory, b.io_volume)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_scenarios([make_scenario()], repeat=0)
+        with pytest.raises(ValueError):
+            run_scenarios([make_scenario()], warmup=-1)
+
+    def test_format_table_mentions_every_record(self):
+        run = run_scenarios([make_scenario()])
+        table = run.format_table()
+        for record in run.records:
+            assert record.key in table

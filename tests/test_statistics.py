@@ -25,10 +25,21 @@ class TestRatioStatistics:
         assert stats.max_ratio == pytest.approx(1.18)
         assert stats.mean_ratio == pytest.approx((3 + 1.18) / 4)
 
+    @pytest.mark.filterwarnings("error::RuntimeWarning")
     def test_zero_reference(self):
         stats = ratio_statistics([0.0, 1.0], [0.0, 0.0])
         assert stats.max_ratio == math.inf
+        assert stats.mean_ratio == math.inf
+        assert stats.std_ratio == math.inf
         assert stats.non_optimal_fraction == pytest.approx(0.5)
+
+    @pytest.mark.filterwarnings("error::RuntimeWarning")
+    def test_zero_reference_all_optimal(self):
+        stats = ratio_statistics([0.0, 2.0], [0.0, 2.0])
+        assert stats.max_ratio == pytest.approx(1.0)
+        assert stats.mean_ratio == pytest.approx(1.0)
+        assert stats.std_ratio == pytest.approx(0.0)
+        assert stats.non_optimal_fraction == 0.0
 
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
