@@ -1,23 +1,90 @@
 #!/usr/bin/env python3
-"""Quickstart: the unified ``solve()`` / ``compare()`` API.
+"""Quickstart: the unified ``solve()`` / ``compare()`` API, as a doctest.
 
-Build a small task tree, run every MinMemory algorithm through the solver
-registry, rank them side by side, and plan an out-of-core execution -- all
-via the single ``repro.solve`` entry point.  The legacy per-algorithm
-functions (``best_postorder``, ``liu_optimal_traversal``, ``min_mem``,
-``run_out_of_core``) remain supported; ``solve`` is a thin dispatch layer
-over them.
+Everything below is executable documentation: run it as a script
+(``python examples/quickstart.py``) or check it line by line with
+``python -m doctest examples/quickstart.py`` (the CI docs job does the
+latter on every push).
 
-Run with::
+Build a small task tree -- node weights are the paper's ``f`` (communication
+file exchanged with the parent) and ``n`` (execution file):
 
-    python examples/quickstart.py
+>>> from repro import Tree, solve, compare, solve_many
+>>> tree = Tree()
+>>> tree.add_node("root", f=0.0, n=10.0)
+'root'
+>>> for name, parent, f, n in [
+...     ("left", "root", 16.0, 20.0), ("right", "root", 9.0, 12.0),
+...     ("left.a", "left", 9.0, 8.0), ("left.b", "left", 4.0, 6.0),
+...     ("right.a", "right", 4.0, 5.0), ("right.b", "right", 1.0, 2.0),
+...     ("left.a.x", "left.a", 4.0, 3.0), ("left.a.y", "left.a", 1.0, 1.0),
+... ]:
+...     _ = tree.add_node(name, parent=parent, f=f, n=n)
+>>> tree.size, tree.max_mem_req()
+(9, 49.0)
+
+``solve`` runs any registered algorithm and returns a ``SolveReport``:
+
+>>> report = solve(tree, "minmem")           # the paper's exact MinMem
+>>> report.peak_memory
+49.0
+>>> report.traversal.order[:3]
+('root', 'right', 'right.a')
+
+The solvers run on the array-backed kernel by default; the original
+per-node implementations remain available as an oracle and always agree:
+
+>>> solve(tree, "minmem", engine="reference").peak_memory
+49.0
+
+Postorder traversals (what sparse direct solvers use) can be arbitrarily
+worse than the optimum -- the paper's harpoon construction forces the gap:
+
+>>> from repro.generators.harpoon import harpoon_tree
+>>> harpoon = harpoon_tree(4, memory=16.0, epsilon=0.5)
+>>> ranking = compare(harpoon)               # postorder vs liu vs minmem
+>>> [(r.algorithm, r.peak_memory) for r in ranking]
+[('liu', 18.0), ('minmem', 18.0), ('postorder', 28.5)]
+>>> round(ranking.ratios()["postorder"], 4)
+1.5833
+
+With less memory than the in-core optimum, the MinIO scheduler plans which
+files to write to secondary storage (and the I/O volume it costs):
+
+>>> out = solve(harpoon, "minio", memory=17.0, heuristic="first_fit")
+>>> out.io_volume, out.extras["io_operations"]
+(1.0, 2)
+
+Batches fan out across trees and algorithms (and, with ``workers=N``,
+across processes); results are identical to the serial path:
+
+>>> batch = solve_many([tree, harpoon], ["postorder", "minmem"])
+>>> [round(reports["postorder"].peak_memory, 1) for reports in batch]
+[49.0, 28.5]
+
+Every report can be re-executed by the independent replay oracle of
+:mod:`repro.bench`, which recomputes the claimed metrics from scratch:
+
+>>> from repro.bench import replay_report
+>>> replay = replay_report(harpoon, solve(harpoon, "minmem"))
+>>> replay.peak_memory, replay.steps, replay.complete
+(18.0, 13, True)
+
+The full scenario-sweep campaign lives behind the CLI::
+
+    repro-treemem bench --smoke --json     # run + write BENCH_<timestamp>.json
+    repro-treemem bench --compare OLD NEW  # exit 1 on regressions
+    repro-treemem bench --filter large --engine kernel
 """
 
-from repro import Tree, compare, list_solvers, solve, solve_many
+from repro import compare, list_solvers, solve, solve_many
+from repro.generators.harpoon import harpoon_tree
 
 
-def build_tree() -> Tree:
-    """A hand-made assembly-like tree (file sizes in megabytes)."""
+def build_tree():
+    """The hand-made assembly-like tree used in the doctest above."""
+    from repro import Tree
+
     tree = Tree()
     tree.add_node("root", f=0.0, n=10.0)
     tree.add_node("left", parent="root", f=16.0, n=20.0)
@@ -36,43 +103,23 @@ def main() -> None:
     print(f"tree with {tree.size} tasks, max MemReq = {tree.max_mem_req():.0f} MB")
     print(f"registered solvers: {', '.join(list_solvers())}\n")
 
-    # 1. one algorithm, one unified report
     minmem = solve(tree, "minmem")
     print(f"MinMem     : {minmem.peak_memory:.0f} MB "
           f"({minmem.extras['explore_calls']} Explore calls)")
-    print(f"  order    : {' -> '.join(map(str, minmem.traversal.order))}")
+    print(f"  order    : {' -> '.join(map(str, minmem.traversal.order))}\n")
 
-    # 2. ranked side-by-side comparison (postorder vs liu vs minmem)
-    ranking = compare(tree)
-    print("\n" + ranking.format_table())
-    assert ranking.best.peak_memory <= ranking["postorder"].peak_memory
+    harpoon = harpoon_tree(4, memory=16.0, epsilon=0.5)
+    print("harpoon ranking (postorder provably suboptimal):")
+    print(compare(harpoon).format_table())
 
-    # 3. out-of-core planning when only max MemReq is available
-    memory = tree.max_mem_req()
-    print(f"\nout-of-core execution with M = {memory:.0f} MB:")
-    for heuristic in ("first_fit", "lsnf", "best_k_combination"):
-        out = solve(tree, "minio", memory=memory, heuristic=heuristic,
-                    traversal=minmem.traversal)
-        print(
-            f"  {heuristic:<18}: {out.io_volume:6.1f} MB written "
-            f"({out.extras['io_operations']} files)"
-        )
+    out = solve(harpoon, "minio", memory=17.0, heuristic="first_fit")
+    print(f"\nout-of-core at M=17: {out.io_volume:.1f} MB written "
+          f"({out.extras['io_operations']} files)")
 
-    # 4. batches of trees fan out across worker processes
-    batch = solve_many([tree, build_tree()], ["postorder", "minmem"], workers=2)
+    batch = solve_many([tree, harpoon], ["postorder", "minmem"], workers=2)
     for i, reports in enumerate(batch):
         ratio = reports["postorder"].peak_memory / reports["minmem"].peak_memory
-        print(f"\ntree #{i}: PostOrder / optimal = {ratio:.3f}")
-
-    # 5. replay-validate the reports with the independent bench oracle
-    from repro.bench import replay_report
-
-    replay = replay_report(tree, minmem)
-    print(f"\nreplay oracle: peak {replay.peak_memory:.0f} MB over "
-          f"{replay.steps} steps (matches the solver's claim)")
-    # the full scenario-sweep campaign lives behind the CLI:
-    #   repro-treemem bench --filter minmem --json   -> BENCH_<timestamp>.json
-    #   repro-treemem bench --compare OLD NEW        -> exit 1 on regressions
+        print(f"tree #{i}: PostOrder / optimal = {ratio:.3f}")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,9 @@ The library is organised in six layers:
     Task-tree model, traversal checkers, the three MinMemory algorithms
     (``PostOrder``, ``Liu``, ``MinMem``), the MinIO out-of-core scheduler with
     its six eviction heuristics, exhaustive oracles and pebble-game special
-    cases.
+    cases.  Every solver hot path runs on the flat array-backed
+    :class:`TreeKernel` of :mod:`repro.core.kernel` by default
+    (``engine="reference"`` selects the original per-node implementations).
 ``repro.sparse``
     The sparse-matrix substrate that produces the assembly trees the paper
     evaluates on: matrix generators, fill-reducing orderings, elimination
@@ -82,6 +84,7 @@ from .core import (
     TOPDOWN,
     ExploreResult,
     ExploreSolver,
+    KernelExploreSolver,
     LiuResult,
     MemoryProfile,
     MinMemResult,
@@ -90,6 +93,7 @@ from .core import (
     Traversal,
     TraversalError,
     Tree,
+    TreeKernel,
     TreeValidationError,
     best_postorder,
     chain_tree,
@@ -127,11 +131,12 @@ from .solvers import (
     solve_many,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
     "Tree",
+    "TreeKernel",
     "TreeValidationError",
     "Traversal",
     "TraversalError",
@@ -141,6 +146,7 @@ __all__ = [
     "BOTTOMUP",
     "ExploreSolver",
     "ExploreResult",
+    "KernelExploreSolver",
     "LiuResult",
     "MinMemResult",
     "PostOrderResult",

@@ -16,9 +16,14 @@ artifacts or papers built on them.
   replayed metrics against the ones the solver claimed, raising
   :class:`ReplayMismatch` on any disagreement.
 
-The engine is deliberately written against the raw :class:`Tree` accessors
-only -- it shares no code with :mod:`repro.core.traversal` or the MinIO
-scheduler, which is what makes it usable as a cross-solver test oracle.
+The replay shares no *accounting logic* with :mod:`repro.core.traversal` or
+the MinIO scheduler -- it re-executes every schedule with its own
+bookkeeping, which is what makes it usable as a cross-solver test oracle.
+Two representations are available behind the ``engine`` keyword:
+``"kernel"`` (default) replays on the flat index arrays of
+:mod:`repro.core.kernel`; ``"reference"`` is the original implementation
+written against the raw :class:`Tree` accessors only, and is what the
+kernel-equivalence tests use as the independent oracle.
 """
 
 from __future__ import annotations
@@ -96,20 +101,32 @@ def replay_traversal(
     traversal: Traversal,
     *,
     partial: bool = False,
+    engine: str = "kernel",
 ) -> ReplayResult:
     """Re-execute an in-core traversal and recompute its peak memory.
 
     Parameters
     ----------
-    tree:
-        The task tree.
-    traversal:
+    tree : Tree or TreeKernel
+        The task tree (a flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted directly).
+    traversal : Traversal
         The node order, in either convention.  Unless ``partial`` is set the
         order must be a permutation of the tree nodes.
-    partial:
+    partial : bool
         Allow a strict prefix of a top-down execution (as produced by a
         budget-limited ``explore`` run).  Partial bottom-up replays are not
         defined and raise :class:`ReplayError`.
+    engine : str
+        ``"kernel"`` (default) replays on the flat index arrays of
+        :mod:`repro.core.kernel`; ``"reference"`` replays against the raw
+        :class:`Tree` accessors (the original oracle).  Both enforce the
+        same constraints and recompute the same metrics.
+
+    Returns
+    -------
+    ReplayResult
+        The recomputed peak memory, step count, and completeness flag.
 
     Raises
     ------
@@ -117,6 +134,31 @@ def replay_traversal(
         On duplicate or unknown nodes, precedence violations, or an
         incomplete order without ``partial``.
     """
+    if engine not in ("kernel", "reference"):
+        raise ReplayError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
+    if engine == "kernel":
+        from ..core.kernel import kernel_replay_traversal
+
+        kern = tree.kernel() if isinstance(tree, Tree) else tree
+        try:
+            order_idx = kern.order_to_indices(traversal.order)
+        except KeyError as exc:
+            raise ReplayError(
+                f"node {exc.args[0]!r} is not in the tree"
+            ) from None
+        try:
+            peak, steps, complete = kernel_replay_traversal(
+                kern,
+                order_idx,
+                topdown=traversal.convention == TOPDOWN,
+                partial=partial,
+            )
+        except ValueError as exc:
+            raise ReplayError(str(exc)) from None
+        return ReplayResult(peak_memory=peak, steps=steps, complete=complete)
+
+    if not isinstance(tree, Tree):
+        tree = tree.to_tree()
     order = tuple(traversal.order)
     executed: Dict[NodeId, int] = {}
     for step, node in enumerate(order):
@@ -175,6 +217,7 @@ def replay_schedule(
     schedule: OutOfCoreSchedule,
     *,
     memory: Optional[float] = None,
+    engine: str = "kernel",
 ) -> ReplayResult:
     """Re-execute an out-of-core schedule, recomputing peak and I/O volume.
 
@@ -185,24 +228,75 @@ def replay_schedule(
 
     Parameters
     ----------
-    tree:
-        The task tree.
-    schedule:
+    tree : Tree or TreeKernel
+        The task tree (a flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted directly).
+    schedule : OutOfCoreSchedule
         Node order plus eviction steps.  Bottom-up orders are reversed into
         the top-down convention first (the eviction steps must then refer to
         the reversed order, as everywhere else in the library).
-    memory:
+    memory : float, optional
         Optional main-memory bound to validate against.  ``None`` replays
         without a bound and only recomputes the metrics.
+    engine : str
+        ``"kernel"`` (default) replays on the flat index arrays of
+        :mod:`repro.core.kernel`; ``"reference"`` replays against the raw
+        :class:`Tree` accessors (the original oracle).
+
+    Returns
+    -------
+    ReplayResult
+        The recomputed peak resident memory, I/O volume, and counters.
 
     Raises
     ------
     ReplayError
         On any violated constraint.
     """
+    if engine not in ("kernel", "reference"):
+        raise ReplayError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
     traversal = schedule.traversal
     if traversal.convention == BOTTOMUP:
         traversal = traversal.reversed()
+
+    if engine == "kernel":
+        from ..core.kernel import kernel_replay_schedule
+
+        kern = tree.kernel() if isinstance(tree, Tree) else tree
+        try:
+            order_idx = kern.order_to_indices(traversal.order)
+        except KeyError:
+            raise ReplayError(
+                "schedule order is not a permutation of the tree nodes"
+            ) from None
+        index = kern.index
+        evictions_idx = {}
+        for victim, step in schedule.evictions.items():
+            j = index.get(victim)
+            if j is None:
+                raise ReplayError(f"eviction of unknown node {victim!r}")
+            evictions_idx[j] = step
+        try:
+            peak, io_total, n_evictions = kernel_replay_schedule(
+                kern,
+                order_idx,
+                evictions_idx,
+                memory=memory,
+                rel_tol=_REL_TOL,
+                abs_tol=_ABS_TOL,
+            )
+        except ValueError as exc:
+            raise ReplayError(str(exc)) from None
+        return ReplayResult(
+            peak_memory=peak,
+            io_volume=io_total,
+            steps=len(order_idx),
+            evictions=n_evictions,
+            complete=True,
+        )
+
+    if not isinstance(tree, Tree):
+        tree = tree.to_tree()
     order = tuple(traversal.order)
     if len(order) != tree.size or set(order) != set(tree.nodes()):
         raise ReplayError("schedule order is not a permutation of the tree nodes")
@@ -274,7 +368,9 @@ def replay_schedule(
 # ----------------------------------------------------------------------
 # report validation
 # ----------------------------------------------------------------------
-def replay_report(tree: Tree, report: SolveReport) -> ReplayResult:
+def replay_report(
+    tree: Tree, report: SolveReport, *, engine: str = "kernel"
+) -> ReplayResult:
     """Replay a :class:`SolveReport` and validate its claimed metrics.
 
     Out-of-core reports are replayed through :func:`replay_schedule` under
@@ -283,6 +379,28 @@ def replay_report(tree: Tree, report: SolveReport) -> ReplayResult:
     ``explore`` runs that did not complete.  The recomputed peak memory must
     match ``report.peak_memory`` and the recomputed I/O volume must match
     ``report.io_volume``; any disagreement raises :class:`ReplayMismatch`.
+
+    Parameters
+    ----------
+    tree : Tree or TreeKernel
+        The task tree the report was computed on.
+    report : SolveReport
+        The solver output to validate.
+    engine : str
+        Replay engine (``"kernel"`` or ``"reference"``), forwarded to
+        :func:`replay_traversal` / :func:`replay_schedule`.
+
+    Returns
+    -------
+    ReplayResult
+        The independently recomputed metrics.
+
+    Raises
+    ------
+    ReplayMismatch
+        When the replayed metrics disagree with the reported ones.
+    ReplayError
+        When the schedule itself is malformed or infeasible.
     """
     if report.schedule is not None:
         memory = report.extras.get("memory_limit")
@@ -290,6 +408,7 @@ def replay_report(tree: Tree, report: SolveReport) -> ReplayResult:
             tree,
             report.schedule,
             memory=float(memory) if memory is not None else None,
+            engine=engine,
         )
         if not _close(result.io_volume, report.io_volume):
             raise ReplayMismatch(
@@ -298,7 +417,9 @@ def replay_report(tree: Tree, report: SolveReport) -> ReplayResult:
             )
     else:
         partial = not bool(report.extras.get("completed", True))
-        result = replay_traversal(tree, report.traversal, partial=partial)
+        result = replay_traversal(
+            tree, report.traversal, partial=partial, engine=engine
+        )
         if report.io_volume:
             raise ReplayMismatch(
                 f"{report.algorithm}: in-core report claims nonzero I/O volume "

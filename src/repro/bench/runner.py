@@ -146,6 +146,7 @@ def run_scenarios(
     warmup: int = 0,
     workers: Optional[int] = None,
     validate: bool = True,
+    engine: Optional[str] = None,
 ) -> BenchRun:
     """Execute ``scenarios`` and collect one record per benchmark cell.
 
@@ -170,11 +171,18 @@ def run_scenarios(
         Replay-validate every report (see :mod:`repro.bench.replay`).
         Validation failures are recorded on the :class:`BenchRecord` rather
         than raised, so one bad solver cannot sink a whole campaign.
+    engine:
+        Execution engine forwarded to every solver: ``"kernel"`` (the
+        array-backed hot paths, the solvers' default) or ``"reference"``
+        (the original per-node implementations).  ``None`` leaves the
+        solvers on their default.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
     if warmup < 0:
         raise ValueError("warmup must be >= 0")
+    if engine not in (None, "kernel", "reference"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
     records: List[BenchRecord] = []
     for scenario in scenarios:
         records.extend(
@@ -185,6 +193,7 @@ def run_scenarios(
                 warmup=warmup,
                 workers=workers,
                 validate=validate,
+                engine=engine,
             )
         )
     return BenchRun(
@@ -205,9 +214,11 @@ def _run_scenario(
     warmup: int,
     workers: Optional[int],
     validate: bool,
+    engine: Optional[str] = None,
 ) -> List[BenchRecord]:
     instances = scenario.build(seed)
     trees = [tree for _, tree in instances]
+    engine_options = {} if engine is None else {"engine": engine}
     plain = [a for a in scenario.algorithms if not _is_budgeted(a)]
     budgeted = [a for a in scenario.algorithms if _is_budgeted(a)]
     # the reference solver anchors optimality ratios and budget sweeps; run
@@ -218,10 +229,13 @@ def _run_scenario(
 
     timings: Dict[Tuple[int, str], List[float]] = {}
     for _ in range(warmup):  # discarded rounds (interpreter/cache warmup)
-        solve_many(trees, plain, workers=workers)
+        solve_many(trees, plain, workers=workers, **engine_options)
     # solve_many stamps a perf_counter wall time on every report, so timed
     # rounds simply repeat the batch and pool the per-solver stamps
-    rounds = [solve_many(trees, plain, workers=workers) for _ in range(repeat)]
+    rounds = [
+        solve_many(trees, plain, workers=workers, **engine_options)
+        for _ in range(repeat)
+    ]
     batches = rounds[-1]
     for round_reports in rounds:
         for i, per_tree in enumerate(round_reports):
@@ -238,6 +252,7 @@ def _run_scenario(
         budget_options = {
             "traversal": reference.traversal,
             "in_core_peak": reference_peak,
+            **engine_options,
         }
         for name in plain:
             if name == REFERENCE_ALGORITHM and not reference_in_run:

@@ -172,6 +172,30 @@ def _etree_instance(name: str, matrix, tmpdir: str) -> Tuple[str, Tree]:
 
 
 @register_scenario(
+    "large",
+    family="large",
+    algorithms=MINMEMORY_ALGORITHMS,
+    summary="kernel-scale instances (100k-node chain, 88k harpoon, deep random)",
+    tags=("scale", "kernel"),
+    smoke=False,
+)
+def _large(seed: int) -> List[Tuple[str, Tree]]:
+    """Instances big enough to exercise the array-backed kernel.
+
+    These are the trees where the per-node overhead of the dict-based
+    reference engine dominates; the CI bench job runs this scenario with
+    ``--engine kernel`` (see the repository workflow).  Excluded from the
+    smoke set to keep the PR gate fast.
+    """
+    return [
+        ("chain-100k", chain_tree(100_000, f=2.0, n=1.0)),
+        ("harpoon-b3-l9", iterated_harpoon_tree(3, levels=9, memory=1.0, epsilon=0.01)),
+        ("deep-50k", random_recent_attachment_tree(50_000, seed=seed + 1, window=8)),
+        ("caterpillar-20k", random_caterpillar(20_000, seed=seed + 3, max_leaves=3)),
+    ]
+
+
+@register_scenario(
     "etree",
     family="etree",
     algorithms=MINMEMORY_ALGORITHMS,

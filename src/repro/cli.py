@@ -82,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memory budget forwarded to budgeted solvers (explore, minio)")
     p_solve.add_argument("--heuristic", choices=tuple(HEURISTICS), default=None,
                          help="eviction heuristic for the minio solver")
+    p_solve.add_argument("--engine", choices=("kernel", "reference"), default=None,
+                         help="execution engine: 'kernel' = array-backed hot "
+                              "paths (default), 'reference' = the original "
+                              "per-node implementations")
     p_solve.add_argument("--workers", type=int, default=None,
                          help="worker processes for multi-tree batches (default: serial)")
     p_solve.add_argument("--json", action="store_true",
@@ -136,6 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", type=Path, default=None, metavar="PATH",
                          help="artifact path (implies --json; default: "
                               "BENCH_<timestamp>.json in the current directory)")
+    p_bench.add_argument("--engine", choices=("kernel", "reference"), default=None,
+                         help="execution engine forwarded to every solver "
+                              "(default: the solvers' own default, 'kernel')")
     p_bench.add_argument("--no-validate", action="store_true",
                          help="skip schedule-replay validation (faster, unchecked)")
     p_bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
@@ -189,6 +196,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     options = {}
     if args.heuristic is not None:
         options["heuristic"] = args.heuristic
+    if args.engine is not None:
+        options["engine"] = args.engine
 
     trees = [load_tree(path) for path in args.trees]
     if len(trees) == 1:
@@ -316,6 +325,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         workers=args.workers,
         validate=not args.no_validate,
+        engine=args.engine,
     )
     print(run.format_table())
     if args.json or args.output is not None:

@@ -12,6 +12,8 @@ substrate) and implements every algorithm of the paper:
   (:mod:`repro.core.minmem` / :mod:`repro.core.explore`);
 * the MinIO out-of-core scheduler and its six eviction heuristics
   (:mod:`repro.core.minio`);
+* the array-backed tree kernel the solver hot paths run on
+  (:mod:`repro.core.kernel`);
 * exhaustive oracles (:mod:`repro.core.bruteforce`) and pebble-game
   special cases (:mod:`repro.core.pebble`) used for validation.
 """
@@ -27,6 +29,7 @@ from .builders import (
     uniform_weights,
 )
 from .explore import ExploreResult, ExploreSolver
+from .kernel import KernelExploreSolver, TreeKernel
 from .liu import LiuResult, Segment, flatten_nodes, liu_min_memory, liu_optimal_traversal
 from .minmem import MinMemResult, min_mem, min_memory
 from .postorder import POSTORDER_RULES, PostOrderResult, best_postorder, postorder_with_rule
@@ -61,6 +64,9 @@ __all__ = [
     # tree
     "Tree",
     "TreeValidationError",
+    # kernel
+    "TreeKernel",
+    "KernelExploreSolver",
     # builders
     "from_parent_list",
     "from_edges",

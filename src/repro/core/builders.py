@@ -210,17 +210,17 @@ def chain_tree(length: int, f: float = 1.0, n: float = 0.0) -> Tree:
     """A chain of ``length`` nodes (node 0 is the root)."""
     if length < 1:
         raise TreeValidationError("length must be >= 1")
-    parents: list = [None] + list(range(length - 1))
-    return from_parent_list(parents, f=[f] * length, n=[n] * length)
+    parents: list = [-1] + list(range(length - 1))
+    return Tree.from_parents(parents, [f] * length, [n] * length)
 
 
 def star_tree(leaves: int, root_f: float = 0.0, leaf_f: float = 1.0, n: float = 0.0) -> Tree:
     """A root with ``leaves`` children."""
     if leaves < 0:
         raise TreeValidationError("leaves must be >= 0")
-    parents: list = [None] + [0] * leaves
+    parents: list = [-1] + [0] * leaves
     f = [root_f] + [leaf_f] * leaves
-    return from_parent_list(parents, f=f, n=[n] * (leaves + 1))
+    return Tree.from_parents(parents, f, [n] * (leaves + 1))
 
 
 def uniform_weights(tree: Tree, f: float = 1.0, n: float = 0.0) -> Tree:

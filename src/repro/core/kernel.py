@@ -1,0 +1,992 @@
+"""Array-backed tree kernel: the library's iterative O(n) hot paths.
+
+The dict-based :class:`~repro.core.tree.Tree` is convenient to build and
+mutate, but every traversal algorithm pays for it at solve time: each node
+visit goes through bound-method calls (``tree.f(v)``, ``tree.children(v)``),
+per-call membership checks, and hash lookups keyed by arbitrary node
+identifiers.  :class:`TreeKernel` is the flat counterpart the solvers
+actually run on:
+
+* nodes are relabeled ``0 .. p-1`` in a top-down topological order (index
+  ``0`` is the root, ``range(p-1, -1, -1)`` is a valid bottom-up order);
+* the structure lives in contiguous arrays -- a ``parent`` index array and a
+  children CSR (``child_ptr`` / ``child_idx``, insertion order preserved);
+* the weights (``f``, ``n``) and the derived per-node quantities the hot
+  loops need (``mem_req``, ``child_f_sum``) are precomputed float arrays.
+
+On top of the representation this module implements the explicit-stack,
+array-based versions of every hot path:
+
+* :func:`kernel_postorder` -- Liu's optimal postorder (and the two naive
+  child-ordering rules) by a single bottom-up sweep;
+* :func:`kernel_liu` -- Liu's exact hill--valley algorithm with the segment
+  merge running on plain float tuples;
+* :class:`KernelExploreSolver` / :func:`kernel_min_mem` -- the paper's
+  Explore/MinMem pair with incrementally-maintained cut sums (the reference
+  implementation recomputes ``sum(f)`` over the cut per candidate, which is
+  quadratic in the cut size);
+* :func:`kernel_replay_traversal` / :func:`kernel_replay_schedule` -- the
+  replay engine's peak-memory/IO recomputation on index arrays;
+* :func:`kernel_out_of_core` -- the MinIO eviction simulator with an
+  incrementally-maintained resident size.
+
+Nothing here recurses: every sweep is an explicit loop or an explicit stack,
+so 100k-node chains are as safe as balanced trees.  The reference (per-node,
+dict-based) implementations remain available behind ``engine="reference"``
+on the public entry points and serve as the test oracle.
+
+A kernel is built once per tree -- :meth:`Tree.kernel()
+<repro.core.tree.Tree.kernel>` caches it and invalidates the cache on
+mutation -- so repeated solves (benchmark rounds, algorithm comparisons,
+budget sweeps) share a single conversion.
+
+Examples
+--------
+>>> from repro.core.builders import chain_tree
+>>> kern = chain_tree(4, f=1.0, n=1.0).kernel()
+>>> kern.size, kern.ids[0]
+(4, 0)
+>>> kernel_postorder(kern)[0]
+3.0
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TreeKernel",
+    "KernelExploreSolver",
+    "flatten_chunks",
+    "kernel_postorder",
+    "kernel_liu",
+    "kernel_min_mem",
+    "kernel_replay_traversal",
+    "kernel_replay_schedule",
+    "kernel_out_of_core",
+]
+
+
+def flatten_chunks(nested) -> List[int]:
+    """Flatten nested tuple chunks of node indices (explicit stack).
+
+    The Explore/MinMem and Liu kernels accumulate traversals as nested
+    tuples whose nesting depth can reach the tree depth; this flattener is
+    iterative so deep chains cannot overflow the interpreter stack.
+    """
+    out: List[int] = []
+    stack: List = [nested]
+    while stack:
+        item = stack.pop()
+        if type(item) is tuple:
+            stack.extend(reversed(item))
+        else:
+            out.append(item)
+    return out
+
+NodeId = Hashable
+
+#: absolute tolerance for memory comparisons (mirrors repro.core.explore)
+_EPS = 1e-9
+
+
+class TreeKernel:
+    """Flat, array-backed snapshot of a task tree.
+
+    Instances are immutable by convention: they are built in one pass from a
+    :class:`~repro.core.tree.Tree` (or directly from a parent array) and
+    shared by every solver run on the same tree.
+
+    Attributes
+    ----------
+    size : int
+        Number of nodes ``p``.
+    ids : list
+        ``ids[i]`` is the original node identifier of index ``i``.  Indices
+        are assigned in a top-down topological order: ``ids[0]`` is the root
+        and every parent index is smaller than its children's indices.
+    index : dict
+        Inverse mapping ``original id -> index``.
+    parent : list of int
+        ``parent[i]`` is the parent index of node ``i`` (``-1`` for the root).
+    child_ptr, child_idx : list of int
+        Children in CSR form: the children of node ``i`` are
+        ``child_idx[child_ptr[i]:child_ptr[i + 1]]``, in insertion order
+        (the same order :meth:`Tree.children` reports).
+    f, n : list of float
+        Communication-file and execution-file sizes by index.
+    mem_req : list of float
+        ``MemReq(i) = f[i] + n[i] + sum(f[j] for j children of i)``
+        (Equation (1) of the paper), precomputed.
+    child_f_sum : list of float
+        ``sum(f[j] for j children of i)``, precomputed.
+    """
+
+    __slots__ = (
+        "size",
+        "ids",
+        "index",
+        "parent",
+        "child_ptr",
+        "child_idx",
+        "f",
+        "n",
+        "mem_req",
+        "child_f_sum",
+    )
+
+    def __init__(
+        self,
+        parent: Sequence[int],
+        f: Sequence[float],
+        n: Sequence[float],
+        *,
+        ids: Optional[Sequence[NodeId]] = None,
+    ) -> None:
+        """Build a kernel from a topologically-ordered parent array.
+
+        Parameters
+        ----------
+        parent : sequence of int
+            ``parent[i]`` must be ``< i`` for every non-root node and ``-1``
+            exactly for node ``0`` (top-down topological labeling).
+        f, n : sequence of float
+            Per-node weights, same length as ``parent``.
+        ids : sequence, optional
+            Original node identifiers (defaults to ``0 .. p-1``).
+
+        Raises
+        ------
+        ValueError
+            If the parent array is not topologically ordered or the lengths
+            disagree.
+        """
+        p = len(parent)
+        if len(f) != p or len(n) != p:
+            raise ValueError("parent, f and n must have the same length")
+        if p == 0:
+            raise ValueError("cannot build a kernel for an empty tree")
+        if parent[0] != -1:
+            raise ValueError("node 0 must be the root (parent[0] == -1)")
+        self.size = p
+        self.parent = [int(x) for x in parent]
+        self.f = [float(x) for x in f]
+        self.n = [float(x) for x in n]
+        if ids is None:
+            self.ids = list(range(p))
+            self.index = {i: i for i in range(p)}
+        else:
+            if len(ids) != p:
+                raise ValueError("ids must have the same length as parent")
+            self.ids = list(ids)
+            self.index = {v: i for i, v in enumerate(self.ids)}
+            if len(self.index) != p:
+                raise ValueError("ids contains duplicates")
+
+        counts = [0] * p
+        for i in range(1, p):
+            par = self.parent[i]
+            if not 0 <= par < i:
+                raise ValueError(
+                    f"parent[{i}] = {par} breaks the topological labeling"
+                )
+            counts[par] += 1
+        ptr = [0] * (p + 1)
+        for i in range(p):
+            ptr[i + 1] = ptr[i] + counts[i]
+        self.child_ptr = ptr
+        fill = list(ptr)
+        child_idx = [0] * (p - 1)
+        for i in range(1, p):
+            par = self.parent[i]
+            child_idx[fill[par]] = i
+            fill[par] += 1
+        self.child_idx = child_idx
+
+        fvals = self.f
+        cfs = [0.0] * p
+        for i in range(1, p):
+            cfs[self.parent[i]] += fvals[i]
+        self.child_f_sum = cfs
+        nvals = self.n
+        self.mem_req = [fvals[i] + nvals[i] + cfs[i] for i in range(p)]
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree) -> "TreeKernel":
+        """Build a kernel from a :class:`~repro.core.tree.Tree`.
+
+        One BFS pass relabels the nodes top-down; children keep their
+        insertion order, so every tie-breaking rule of the solvers behaves
+        exactly as on the original tree.  Prefer :meth:`Tree.kernel`, which
+        caches the result on the tree.
+        """
+        order = tree.topological_order()
+        index = {v: i for i, v in enumerate(order)}
+        # accessing the internal maps directly: this is the package-private
+        # bulk path, one dict lookup per node instead of three method calls
+        parent_map = tree._parent
+        f_map = tree._f
+        n_map = tree._n
+        parent = [-1] * len(order)
+        for i, v in enumerate(order):
+            par = parent_map[v]
+            if par is not None:
+                parent[i] = index[par]
+        return cls(
+            parent,
+            [f_map[v] for v in order],
+            [n_map[v] for v in order],
+            ids=order,
+        )
+
+    def to_tree(self):
+        """Materialise a :class:`~repro.core.tree.Tree` (original ids)."""
+        from .tree import Tree
+
+        return Tree.from_parents(self.parent, self.f, self.n, ids=self.ids)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    def children(self, i: int) -> List[int]:
+        """Child indices of node ``i`` in insertion order."""
+        return self.child_idx[self.child_ptr[i] : self.child_ptr[i + 1]]
+
+    def max_mem_req(self) -> float:
+        """``max_i MemReq(i)``, the trivial lower bound on main memory."""
+        return max(self.mem_req)
+
+    def total_file_size(self) -> float:
+        """Sum of all communication-file sizes (I/O volume upper bound)."""
+        return math.fsum(self.f)
+
+    def validate_weights(self) -> None:
+        """Check the weight invariants (mirrors :meth:`Tree.validate`).
+
+        Raises ``ValueError`` on non-finite weights, negative file sizes or
+        negative memory requirements.  The structural invariants (single
+        root, acyclicity, connectivity) hold by construction.
+        """
+        for i in range(self.size):
+            fv, nv, mr = self.f[i], self.n[i], self.mem_req[i]
+            if fv != fv or abs(fv) == math.inf:
+                raise ValueError(f"non-finite f for node {self.ids[i]!r}")
+            if fv < 0:
+                raise ValueError(f"negative file size for node {self.ids[i]!r}")
+            if nv != nv or abs(nv) == math.inf:
+                raise ValueError(f"non-finite n for node {self.ids[i]!r}")
+            if mr < 0:
+                raise ValueError(
+                    f"negative memory requirement for node {self.ids[i]!r}"
+                )
+
+    def order_to_ids(self, order: Sequence[int]) -> Tuple[NodeId, ...]:
+        """Map a sequence of node indices back to original identifiers."""
+        ids = self.ids
+        return tuple(ids[i] for i in order)
+
+    def order_to_indices(self, order: Sequence[NodeId]) -> List[int]:
+        """Map original identifiers to node indices (raises ``KeyError``)."""
+        index = self.index
+        return [index[v] for v in order]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TreeKernel(p={self.size}, root={self.ids[0]!r})"
+
+
+# ----------------------------------------------------------------------
+# PostOrder: one bottom-up sweep over the index range
+# ----------------------------------------------------------------------
+def kernel_postorder(
+    kern: TreeKernel, rule: str = "liu"
+) -> Tuple[float, List[int], List[float], List[List[int]]]:
+    """Memory-optimal (or ablation-rule) postorder on the kernel.
+
+    Parameters
+    ----------
+    kern : TreeKernel
+        The flat tree.
+    rule : str
+        ``"liu"`` (children by decreasing ``P_j - f_j``, optimal),
+        ``"subtree_memory"`` (increasing subtree peak) or ``"natural"``
+        (insertion order).
+
+    Returns
+    -------
+    (memory, order, subtree_peak, child_order)
+        Peak memory, the bottom-up node order (indices), the per-node
+        subtree peaks, and the chosen child permutation per node.
+    """
+    p = kern.size
+    f = kern.f
+    n = kern.n
+    child_ptr = kern.child_ptr
+    child_idx = kern.child_idx
+    peak = [0.0] * p
+    child_order: List[List[int]] = [[]] * p
+
+    for v in range(p - 1, -1, -1):
+        lo, hi = child_ptr[v], child_ptr[v + 1]
+        if lo == hi:
+            peak[v] = f[v] + n[v]
+            continue
+        children = child_idx[lo:hi]
+        if hi - lo > 1:  # singleton child lists need no ordering rule
+            if rule == "liu":
+                children.sort(key=lambda c: peak[c] - f[c], reverse=True)
+            elif rule == "subtree_memory":
+                children.sort(key=lambda c: peak[c])
+        child_order[v] = children
+        completed = 0.0
+        best = 0.0
+        for c in children:
+            cand = completed + peak[c]
+            if cand > best:
+                best = cand
+            completed += f[c]
+        cand = completed + n[v] + f[v]
+        peak[v] = cand if cand > best else best
+
+    # bottom-up DFS following child_order, explicit stack
+    order: List[int] = []
+    append = order.append
+    stack: List[int] = [0]
+    # encode "expanded" by pushing ~v (bitwise complement is a distinct int)
+    while stack:
+        v = stack.pop()
+        if v < 0:
+            append(~v)
+            continue
+        stack.append(~v)
+        for c in reversed(child_order[v]):
+            stack.append(c)
+    return peak[0], order, peak, child_order
+
+
+# ----------------------------------------------------------------------
+# Liu's exact algorithm: hill--valley segment merge on float tuples
+# ----------------------------------------------------------------------
+def kernel_liu(
+    kern: TreeKernel,
+) -> Tuple[float, List[int], List[float], List[Tuple[float, float, tuple]]]:
+    """Liu's exact MinMemory algorithm on the kernel.
+
+    A faithful port of :func:`repro.core.liu.liu_optimal_traversal`: per
+    subtree the canonical hill--valley representation is kept as plain
+    ``(hill, valley, nodes)`` tuples, children segments are interleaved in
+    decreasing ``hill - valley`` order (stable on ties), and the profile is
+    re-cut by one backward plus one forward sweep.
+
+    Returns
+    -------
+    (memory, order, subtree_peak, root_segments)
+        The optimal memory, an optimal bottom-up order (indices), the
+        optimal peak of every subtree, and the root's canonical segments as
+        ``(hill, valley, nested_chunks)`` tuples (chunks hold node indices;
+        flatten with :func:`repro.core.liu.flatten_nodes`).
+    """
+    p = kern.size
+    f = kern.f
+    n = kern.n
+    child_ptr = kern.child_ptr
+    child_idx = kern.child_idx
+    segments_of: List[Optional[List[Tuple[float, float, tuple]]]] = [None] * p
+    subtree_peak = [0.0] * p
+
+    for v in range(p - 1, -1, -1):
+        lo, hi = child_ptr[v], child_ptr[v + 1]
+        fv = f[v]
+        if lo == hi:
+            # leaf: a single segment, no merge and no re-cut needed
+            peak0 = fv + n[v]
+            segments_of[v] = [(peak0, fv, (v,))]
+            subtree_peak[v] = peak0
+            continue
+        if hi - lo == 1:
+            # one child: the merge sort is a no-op (a canonical representation
+            # already has non-increasing hill - valley), and converting to
+            # relative increments and re-basing reproduces the absolute
+            # levels, so the child's segments ARE the events
+            child = child_idx[lo]
+            events = segments_of[child]
+            segments_of[child] = None  # merged; free the memory
+            base = events[-1][1]
+        else:
+            keyed: List[Tuple[float, int, int, float, float, tuple]] = []
+            for child_pos in range(lo, hi):
+                child = child_idx[child_pos]
+                prev_valley = 0.0
+                segs = segments_of[child]
+                for seg_idx, (hill, valley, nodes) in enumerate(segs):
+                    keyed.append(
+                        (
+                            valley - hill,  # == -(hill - valley)
+                            child_pos,
+                            seg_idx,
+                            hill - prev_valley,
+                            valley - prev_valley,
+                            nodes,
+                        )
+                    )
+                    prev_valley = valley
+                segments_of[child] = None  # merged; free the memory
+            keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+            events = []
+            base = 0.0
+            for _, _, _, rel_hill, rel_valley, nodes in keyed:
+                events.append((base + rel_hill, base + rel_valley, nodes))
+                base += rel_valley
+        own_peak = base + n[v] + fv
+        events.append((own_peak, fv, (v,)))
+        # The profile collapses into a single segment whenever the final
+        # residual fv is the minimum over all events (the suffix-minimum cut
+        # lands on the last event); that covers chains and most assembly
+        # nodes, and skips the O(events) array bookkeeping of _canonical.
+        max_hill = own_peak
+        single = True
+        for hill, valley, _ in events:
+            if valley < fv:
+                single = False
+                break
+            if hill > max_hill:
+                max_hill = hill
+        if single:
+            segs = [(max_hill, fv, tuple(nodes for _, _, nodes in events))]
+        else:
+            segs = _canonical(events)
+        segments_of[v] = segs
+        subtree_peak[v] = segs[0][0]  # canonical hills are non-increasing
+
+    root_segments = segments_of[0]
+    assert root_segments is not None
+    order: List[int] = []
+    for _, _, nodes in root_segments:
+        order.extend(flatten_chunks(nodes))
+    return subtree_peak[0], order, subtree_peak, root_segments
+
+
+def _canonical(
+    events: List[Tuple[float, float, tuple]],
+) -> List[Tuple[float, float, tuple]]:
+    """Cut an event profile into its canonical hill--valley representation.
+
+    Same construction as :func:`repro.core.liu._canonical_segments` (one
+    backward sweep for suffix maxima/minima, one forward sweep for the
+    cuts), producing plain tuples instead of ``Segment`` objects.
+    """
+    n_events = len(events)
+    first_max = [0] * n_events
+    last_min = [0] * n_events
+    suffix_max = [0.0] * n_events
+    suffix_min = [0.0] * n_events
+    peak, level = events[-1][0], events[-1][1]
+    suffix_max[-1] = peak
+    suffix_min[-1] = level
+    first_max[-1] = last_min[-1] = n_events - 1
+    for t in range(n_events - 2, -1, -1):
+        peak, level = events[t][0], events[t][1]
+        if peak >= suffix_max[t + 1]:
+            suffix_max[t] = peak
+            first_max[t] = t
+        else:
+            suffix_max[t] = suffix_max[t + 1]
+            first_max[t] = first_max[t + 1]
+        if level < suffix_min[t + 1]:
+            suffix_min[t] = level
+            last_min[t] = t
+        else:
+            suffix_min[t] = suffix_min[t + 1]
+            last_min[t] = last_min[t + 1]
+
+    segments: List[Tuple[float, float, tuple]] = []
+    start = 0
+    while start < n_events:
+        valley_pos = last_min[first_max[start]]
+        segments.append(
+            (
+                suffix_max[start],
+                events[valley_pos][1],
+                tuple(events[t][2] for t in range(start, valley_pos + 1)),
+            )
+        )
+        start = valley_pos + 1
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Explore / MinMem: the paper's Algorithms 3 and 4 on index arrays
+# ----------------------------------------------------------------------
+class KernelExploreSolver:
+    """Array-based counterpart of :class:`repro.core.explore.ExploreSolver`.
+
+    Semantics are identical (including the per-node resume states and the
+    ``reuse_states=False`` literal-pseudocode mode); the differences are
+    mechanical: nodes are indices, per-node state lives in flat lists, and
+    the resident size of the current cut is maintained incrementally instead
+    of being re-summed per candidate.
+
+    Parameters
+    ----------
+    kern : TreeKernel
+        The flat tree (weights are validated once here, mirroring the
+        ``tree.validate()`` call of the reference solver).
+    reuse_states : bool
+        Keep every node's reached exploration state across sweeps (the fast
+        mode); ``False`` retains only the entry node's state, exactly as in
+        the paper's pseudocode.
+    """
+
+    def __init__(self, kern: TreeKernel, *, reuse_states: bool = True) -> None:
+        kern.validate_weights()
+        self.kern = kern
+        self.reuse_states = reuse_states
+        self._peak_of = list(kern.mem_req)
+        p = kern.size
+        self._state_cut: List[Optional[List[int]]] = [None] * p
+        self._state_chunks: List[Optional[list]] = [None] * p
+        self._state_required = [0.0] * p
+        self.explore_calls = 0
+        self.nodes_visited = 0
+
+    def peak_of(self, i: int) -> float:
+        """Current estimate of the memory needed to progress below ``i``."""
+        return self._peak_of[i]
+
+    def explore(self, node: int, m_avail: float):
+        """Run ``Explore`` from index ``node`` with ``m_avail`` memory.
+
+        Returns
+        -------
+        (resident, cut, chunks, peak, required)
+            ``M_i``, the frontier (list of indices), the nested traversal
+            chunks, ``M_peak_i``, and the peak memory actually used by the
+            returned partial traversal.
+        """
+        if not self.reuse_states:
+            kept = self._state_cut[node]
+            kept_chunks = self._state_chunks[node]
+            kept_required = self._state_required[node]
+            p = self.kern.size
+            self._state_cut = [None] * p
+            self._state_chunks = [None] * p
+            self._state_required = [0.0] * p
+            self._state_cut[node] = kept
+            self._state_chunks[node] = kept_chunks
+            self._state_required[node] = kept_required
+            self._peak_of = list(self.kern.mem_req)
+        stack = [self._explore_gen(node, m_avail)]
+        result = None
+        while stack:
+            gen = stack[-1]
+            try:
+                request = gen.send(result)
+            except StopIteration as stop:
+                result = stop.value
+                stack.pop()
+                continue
+            child, child_avail = request
+            stack.append(self._explore_gen(child, child_avail))
+            result = None
+        assert result is not None
+        return result
+
+    def _explore_gen(self, node: int, m_avail: float):
+        # Algorithm 3 as a generator yielding (child, avail) requests; the
+        # driving trampoline in explore() keeps the stack explicit, so deep
+        # chains never touch the interpreter recursion limit.
+        kern = self.kern
+        f = kern.f
+        peak_of = self._peak_of
+        self.explore_calls += 1
+        mem_req = kern.mem_req[node]
+
+        state_cut = self._state_cut[node]
+        required = self._state_required[node]
+        resumable = state_cut is not None and required <= m_avail + _EPS
+
+        if resumable:
+            cut = list(state_cut)
+            chunks = list(self._state_chunks[node])
+        else:
+            if mem_req > m_avail + _EPS:
+                # the node itself cannot be executed (paper lines 3-5)
+                return (math.inf, (), (), mem_req, 0.0)
+            # execute the node itself (paper lines 10-11)
+            cut = kern.children(node)
+            chunks = [node]
+            required = mem_req
+            self.nodes_visited += 1
+
+        total = 0.0
+        for j in cut:
+            total += f[j]
+        while cut:
+            headroom = m_avail - total
+            candidates = [j for j in cut if headroom + f[j] >= peak_of[j] - _EPS]
+            if not candidates:
+                break
+            for j in candidates:
+                rest = total - f[j]
+                sub = yield (j, m_avail - rest)
+                sub_resident, sub_cut, sub_chunks, sub_peak, sub_required = sub
+                peak_of[j] = sub_peak
+                if sub_resident <= f[j] + _EPS:
+                    # merge the child's cut in place of the child (16-18)
+                    idx = cut.index(j)
+                    cut[idx : idx + 1] = sub_cut
+                    chunks.append(sub_chunks)
+                    total += sub_resident - f[j]
+                    req = rest + sub_required
+                    if req > required:
+                        required = req
+            # `total` tracks the resident size of the (possibly spliced) cut;
+            # recompute the headroom on the next pass over the new frontier
+
+        resident = total
+        if cut:
+            peak = math.inf
+            for j in cut:
+                cand = peak_of[j] + (resident - f[j])
+                if cand < peak:
+                    peak = cand
+        else:
+            peak = math.inf
+        self._state_cut[node] = list(cut)
+        self._state_chunks[node] = list(chunks)
+        self._state_required[node] = required
+        return (resident, tuple(cut), tuple(chunks), peak, required)
+
+
+def kernel_min_mem(
+    kern: TreeKernel, *, reuse_states: bool = True
+) -> Tuple[float, List[int], int, int]:
+    """The ``MinMem`` algorithm (paper Algorithm 4) on the kernel.
+
+    Returns
+    -------
+    (memory, order, iterations, explore_calls)
+        The optimal memory, an optimal top-down order (indices), the number
+        of root sweeps and the total number of ``Explore`` invocations.
+    """
+    solver = KernelExploreSolver(kern, reuse_states=reuse_states)
+    m_peak = max(kern.mem_req)
+    m_avail = 0.0
+    iterations = 0
+    chunks: tuple = ()
+    while m_peak != math.inf:
+        m_avail = m_peak
+        _, _, chunks, m_peak, _ = solver.explore(0, m_avail)
+        iterations += 1
+        if m_peak is not math.inf and m_peak <= m_avail:
+            raise RuntimeError(
+                "MinMem made no progress (floating-point stall); "
+                f"memory={m_avail}, reported peak={m_peak}"
+            )
+    return m_avail, flatten_chunks(chunks), iterations, solver.explore_calls
+
+
+# ----------------------------------------------------------------------
+# replay: independent peak-memory / IO recomputation on index arrays
+# ----------------------------------------------------------------------
+def kernel_replay_traversal(
+    kern: TreeKernel,
+    order: Sequence[int],
+    *,
+    topdown: bool,
+    partial: bool = False,
+) -> Tuple[float, int, bool]:
+    """Re-execute a traversal (given as indices) and recompute its peak.
+
+    Enforces the same constraints as :func:`repro.bench.replay
+    .replay_traversal`: no duplicates, precedence respected, completeness
+    unless ``partial`` (top-down only).
+
+    Returns
+    -------
+    (peak_memory, steps, complete)
+
+    Raises
+    ------
+    ValueError
+        On any violated constraint (callers re-wrap into ``ReplayError``).
+    """
+    p = kern.size
+    f = kern.f
+    n = kern.n
+    parent = kern.parent
+    cfs = kern.child_f_sum
+    executed = [-1] * p
+    for step, i in enumerate(order):
+        if executed[i] != -1:
+            raise ValueError(f"step {step}: node {kern.ids[i]!r} executed twice")
+        executed[i] = step
+    complete = len(order) == p
+    if not complete and (not partial or not topdown):
+        raise ValueError(
+            f"order covers {len(order)} of {p} nodes; "
+            "only top-down replays may be partial"
+        )
+
+    if topdown:
+        if order and order[0] != 0:
+            raise ValueError("top-down execution must start at the root")
+        resident = f[0] if order else 0.0
+        peak = resident
+        for step, i in enumerate(order):
+            par = parent[i]
+            if par >= 0:
+                par_step = executed[par]
+                if par_step < 0 or par_step >= step:
+                    raise ValueError(
+                        f"step {step}: node {kern.ids[i]!r} executed "
+                        "before its parent"
+                    )
+            during = resident + n[i] + cfs[i]
+            if during > peak:
+                peak = during
+            resident += cfs[i] - f[i]
+        return peak, len(order), complete
+
+    # bottom-up: every child strictly before its parent, full permutation
+    child_ptr = kern.child_ptr
+    child_idx = kern.child_idx
+    resident = 0.0
+    peak = 0.0
+    for step, i in enumerate(order):
+        for pos in range(child_ptr[i], child_ptr[i + 1]):
+            if executed[child_idx[pos]] >= step:
+                raise ValueError(
+                    f"step {step}: node {kern.ids[i]!r} executed before "
+                    f"child {kern.ids[child_idx[pos]]!r}"
+                )
+        during = resident + n[i] + f[i]
+        if during > peak:
+            peak = during
+        resident += f[i] - cfs[i]
+    return peak, len(order), True
+
+
+def kernel_replay_schedule(
+    kern: TreeKernel,
+    order: Sequence[int],
+    evictions: Dict[int, int],
+    *,
+    memory: Optional[float] = None,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-9,
+) -> Tuple[float, float, int]:
+    """Re-execute an out-of-core schedule given as indices.
+
+    ``order`` must be a full top-down permutation; ``evictions`` maps node
+    index to the step before which its file is written out.  Enforces every
+    constraint of the paper's Algorithm 2 (production before eviction,
+    eviction strictly before execution, no double writes, optional memory
+    bound) and recomputes peak resident memory and I/O volume.
+
+    Returns
+    -------
+    (peak_memory, io_volume, evictions_count)
+
+    Raises
+    ------
+    ValueError
+        On any violated constraint (callers re-wrap into ``ReplayError``).
+    """
+    p = kern.size
+    f = kern.f
+    n = kern.n
+    cfs = kern.child_f_sum
+    child_ptr = kern.child_ptr
+    child_idx = kern.child_idx
+    if len(order) != p:
+        raise ValueError("schedule order is not a permutation of the tree nodes")
+    position = [-1] * p
+    for step, i in enumerate(order):
+        if position[i] != -1:
+            raise ValueError("schedule order is not a permutation of the tree nodes")
+        position[i] = step
+
+    evict_at: Dict[int, List[int]] = {}
+    for victim, step in evictions.items():
+        if not 0 <= step < p:
+            raise ValueError(
+                f"eviction step {step} of {kern.ids[victim]!r} out of range"
+            )
+        if position[victim] <= step:
+            raise ValueError(
+                f"node {kern.ids[victim]!r} evicted at step {step} but "
+                f"executes at step {position[victim]}; files must be "
+                "evicted strictly before their owner runs"
+            )
+        evict_at.setdefault(step, []).append(victim)
+
+    # resident state: 0 = absent, 1 = resident, 2 = on disk
+    state = [0] * p
+    state[0] = 1
+    resident_size = f[0]
+    peak = resident_size
+    io_total = 0.0
+    bound = None
+    if memory is not None:
+        bound = memory * (1.0 + rel_tol) + abs_tol
+
+    for step, i in enumerate(order):
+        victims = evict_at.get(step)
+        if victims:
+            for victim in victims:
+                if state[victim] != 1:
+                    raise ValueError(
+                        f"step {step}: evicted file {kern.ids[victim]!r} is "
+                        "not resident (not produced yet, or already written out)"
+                    )
+                state[victim] = 2
+                resident_size -= f[victim]
+                io_total += f[victim]
+        if state[i] == 2:  # read the input file back from secondary memory
+            state[i] = 1
+            resident_size += f[i]
+        if state[i] != 1:
+            raise ValueError(
+                f"step {step}: input file of {kern.ids[i]!r} is not "
+                "resident; the parent has not executed"
+            )
+        step_peak = resident_size + n[i] + cfs[i]
+        if bound is not None and step_peak > bound:
+            raise ValueError(
+                f"step {step}: executing {kern.ids[i]!r} needs "
+                f"{step_peak:.6g} but the memory bound is {memory:.6g}"
+            )
+        if step_peak > peak:
+            peak = step_peak
+        state[i] = 0
+        resident_size += cfs[i] - f[i]
+        for pos in range(child_ptr[i], child_ptr[i + 1]):
+            state[child_idx[pos]] = 1
+
+    for i in range(p):
+        if state[i] == 2:
+            raise ValueError(
+                f"files never read back: [{kern.ids[i]!r}]"
+            )
+    return peak, io_total, len(evictions)
+
+
+# ----------------------------------------------------------------------
+# MinIO: the eviction simulator with incremental resident accounting
+# ----------------------------------------------------------------------
+def kernel_out_of_core(
+    kern: TreeKernel,
+    memory: float,
+    order: Sequence[int],
+    selector,
+    *,
+    eps: float = 1e-12,
+) -> Tuple[Dict[int, int], float, float]:
+    """Out-of-core simulation of a top-down ``order`` (indices) on the kernel.
+
+    Faithful port of :func:`repro.core.minio.scheduler.run_out_of_core`'s
+    hot loop: whenever the next node does not fit, the evictable resident
+    files (latest-scheduled-first) are offered to ``selector``; any
+    shortfall is topped up in LSNF order.  The resident size is maintained
+    incrementally -- the reference re-sums the resident dict per step, which
+    is quadratic.
+
+    Parameters
+    ----------
+    kern, memory, order:
+        Instance, memory bound (``>= max MemReq``), full top-down order.
+    selector:
+        ``(candidates, io_req) -> victims`` over ``(original id, size)``
+        pairs, exactly as the public heuristics expect.
+
+    Returns
+    -------
+    (evictions, io_volume, peak_resident)
+        Eviction step per evicted node *index*, total written volume, and
+        the peak resident memory.
+    """
+    p = kern.size
+    f = kern.f
+    ids = kern.ids
+    index = kern.index
+    mem_req = kern.mem_req
+    child_ptr = kern.child_ptr
+    child_idx = kern.child_idx
+
+    position = [0] * p
+    for step, i in enumerate(order):
+        position[i] = step
+
+    resident: Dict[int, float] = {0: f[0]}
+    resident_size = f[0]
+    on_disk = set()
+    evictions: Dict[int, int] = {}
+    io_total = 0.0
+    peak_resident = resident_size
+
+    for step, i in enumerate(order):
+        # 1. read the input file back if it was unloaded
+        if i in on_disk:
+            on_disk.discard(i)
+            resident[i] = f[i]
+            resident_size += f[i]
+
+        # 2. free memory if the node does not fit
+        extra = mem_req[i] - f[i]
+        io_req = extra - (memory - resident_size)
+        if io_req > eps:
+            # evictable files, latest-scheduled-first (the paper's set S),
+            # exposed to the selector under their original identifiers
+            cand_idx = sorted(
+                (j for j in resident if j != i),
+                key=lambda j: position[j],
+                reverse=True,
+            )
+            candidates = [(ids[j], resident[j]) for j in cand_idx]
+            freed = 0.0
+            for victim_id in selector(candidates, io_req):
+                j = index[victim_id]
+                size = resident.pop(j)
+                resident_size -= size
+                freed += size
+                on_disk.add(j)
+                evictions[j] = step
+                io_total += f[j]
+            if freed + eps < io_req:
+                # top up in LSNF order so execution always proceeds
+                for j in cand_idx:
+                    if freed >= io_req - eps:
+                        break
+                    if j not in resident:
+                        continue
+                    size = resident.pop(j)
+                    resident_size -= size
+                    freed += size
+                    on_disk.add(j)
+                    evictions[j] = step
+                    io_total += f[j]
+            if freed + eps < io_req:
+                raise ValueError(
+                    "infeasible eviction: not enough resident files to free"
+                )
+
+        # 3. execute the node
+        during = resident_size + extra
+        if during > peak_resident:
+            peak_resident = during
+        size = resident.pop(i, None)
+        if size is not None:
+            resident_size -= size
+        for pos in range(child_ptr[i], child_ptr[i + 1]):
+            c = child_idx[pos]
+            resident[c] = f[c]
+            resident_size += f[c]
+
+    return evictions, io_total, peak_resident

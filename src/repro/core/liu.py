@@ -70,6 +70,20 @@ class LiuResult:
     subtree_peak: Dict[NodeId, float]
 
 
+def _chunks_to_ids(nested: tuple, ids: Sequence[NodeId]) -> tuple:
+    """Flatten a nested chunk tree of node indices into original ids.
+
+    Iterative (via :func:`repro.core.kernel.flatten_chunks`): on deep chains
+    the chunk nesting is as deep as the tree, so a recursive rewrite would
+    defeat the kernel's purpose.  The flat tuple is a valid
+    :class:`Segment.nodes` value -- consumers are documented to go through
+    :func:`flatten_nodes` anyway.
+    """
+    from .kernel import flatten_chunks
+
+    return tuple(ids[i] for i in flatten_chunks(nested))
+
+
 def flatten_nodes(nested: Sequence) -> List[NodeId]:
     """Flatten the nested node chunks stored in :class:`Segment` objects."""
     out: List[NodeId] = []
@@ -85,18 +99,62 @@ def flatten_nodes(nested: Sequence) -> List[NodeId]:
     return out
 
 
-def liu_min_memory(tree: Tree) -> float:
+def liu_min_memory(tree: Tree, *, engine: str = "kernel") -> float:
     """Minimum memory over all traversals (value only)."""
-    return liu_optimal_traversal(tree).memory
+    return liu_optimal_traversal(tree, engine=engine).memory
 
 
-def liu_optimal_traversal(tree: Tree) -> LiuResult:
+def liu_optimal_traversal(tree: Tree, *, engine: str = "kernel") -> LiuResult:
     """Run Liu's exact algorithm and return the optimal traversal.
 
+    Parameters
+    ----------
+    tree : Tree or TreeKernel
+        The task tree (a flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted directly).
+    engine : str
+        ``"kernel"`` (default) runs the array-backed segment merge of
+        :func:`repro.core.kernel.kernel_liu`; ``"reference"`` runs the
+        original per-node implementation (kept as the test oracle).  Both
+        produce identical results.
+
+    Returns
+    -------
+    LiuResult
+        Optimal memory, an optimal bottom-up traversal, the root's canonical
+        hill--valley segments, and the optimal peak of every subtree.
+
+    Notes
+    -----
     The computation is iterative (bottom-up over the nodes) so arbitrarily
     deep trees are supported.  Worst-case complexity is ``O(p^2)`` (quadratic
     in the number of nodes), as in the paper.
     """
+    if engine not in ("kernel", "reference"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
+    if engine == "kernel":
+        from .kernel import TreeKernel, kernel_liu
+
+        kern = tree if isinstance(tree, TreeKernel) else tree.kernel()
+        memory, order_idx, peaks, root_segments = kernel_liu(kern)
+        ids = kern.ids
+        segments = tuple(
+            Segment(
+                hill=hill,
+                valley=valley,
+                nodes=_chunks_to_ids(nodes, ids),
+            )
+            for hill, valley, nodes in root_segments
+        )
+        return LiuResult(
+            memory=memory,
+            traversal=Traversal(kern.order_to_ids(order_idx), BOTTOMUP),
+            segments=segments,
+            subtree_peak={ids[i]: peaks[i] for i in range(kern.size)},
+        )
+
+    if not isinstance(tree, Tree):
+        tree = tree.to_tree()
     segments_of: Dict[NodeId, List[Segment]] = {}
     subtree_peak: Dict[NodeId, float] = {}
 

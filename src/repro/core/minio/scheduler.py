@@ -12,7 +12,7 @@ schedule is always consistent with the paper's Algorithm 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, List, Tuple, Union
 
 from ..traversal import (
     TOPDOWN,
@@ -70,31 +70,78 @@ def run_out_of_core(
     memory: float,
     traversal: Traversal,
     heuristic: Union[str, Selector] = "first_fit",
+    *,
+    engine: str = "kernel",
 ) -> OutOfCoreResult:
     """Simulate an out-of-core execution of ``traversal`` with ``memory``.
 
     Parameters
     ----------
-    tree:
-        The task tree.
-    memory:
+    tree : Tree or TreeKernel
+        The task tree (a flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted directly).
+    memory : float
         Main memory size; must satisfy ``memory >= max_i MemReq(i)``,
         otherwise no execution exists and a :class:`ValueError` is raised.
-    traversal:
+    traversal : Traversal
         Any topological traversal; a bottom-up traversal is reversed into the
         paper's top-down convention first.
-    heuristic:
+    heuristic : str or Selector
         Name of one of the six eviction policies of Section V-B (see
         :data:`repro.core.minio.heuristics.HEURISTICS`) or a custom selector
         ``candidates, io_req -> victims``.
+    engine : str
+        ``"kernel"`` (default) runs the array-backed simulator of
+        :func:`repro.core.kernel.kernel_out_of_core` (incremental resident
+        accounting); ``"reference"`` runs the original dict-based loop (kept
+        as the test oracle).  Both produce identical schedules.
 
     Returns
     -------
     OutOfCoreResult
         Schedule, I/O volume and bookkeeping counters.
     """
+    if engine not in ("kernel", "reference"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
     selector = get_heuristic(heuristic) if isinstance(heuristic, str) else heuristic
     traversal = traversal.as_convention(TOPDOWN)
+
+    if engine == "kernel":
+        from ..kernel import TreeKernel, kernel_out_of_core
+
+        kern = tree if isinstance(tree, TreeKernel) else tree.kernel()
+        try:
+            order = kern.order_to_indices(traversal.order)
+        except KeyError:
+            raise TraversalError("order is not a permutation of the tree nodes") from None
+        if len(order) != kern.size or len(set(order)) != kern.size:
+            raise TraversalError("order is not a permutation of the tree nodes")
+        seen = [False] * kern.size
+        for i in order:  # top-down: every parent before its children
+            par = kern.parent[i]
+            if par >= 0 and not seen[par]:
+                raise TraversalError("traversal violates precedence constraints")
+            seen[i] = True
+        max_req = kern.max_mem_req()
+        if memory < max_req - _EPS:
+            raise ValueError(
+                f"memory {memory} is below the largest node requirement "
+                f"{max_req}; no execution exists"
+            )
+        evictions_idx, io_total, peak_resident = kernel_out_of_core(
+            kern, memory, order, selector, eps=_EPS
+        )
+        evictions = {kern.ids[i]: step for i, step in evictions_idx.items()}
+        schedule = OutOfCoreSchedule(traversal=traversal, evictions=evictions)
+        return OutOfCoreResult(
+            schedule=schedule,
+            io_volume=io_total,
+            io_operations=len(evictions),
+            peak_resident=peak_resident,
+        )
+
+    if not isinstance(tree, Tree):
+        tree = tree.to_tree()
     if not is_topological(tree, traversal):
         raise TraversalError("traversal violates precedence constraints")
     if memory < tree.max_mem_req() - _EPS:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Hashable
 
 from .explore import ExploreSolver
 from .liu import flatten_nodes
@@ -57,31 +57,59 @@ class MinMemResult:
     explore_calls: int
 
 
-def min_memory(tree: Tree, *, reuse_states: bool = True) -> float:
+def min_memory(
+    tree: Tree, *, reuse_states: bool = True, engine: str = "kernel"
+) -> float:
     """Minimum memory over all traversals (value only)."""
-    return min_mem(tree, reuse_states=reuse_states).memory
+    return min_mem(tree, reuse_states=reuse_states, engine=engine).memory
 
 
-def min_mem(tree: Tree, *, reuse_states: bool = True) -> MinMemResult:
+def min_mem(
+    tree: Tree, *, reuse_states: bool = True, engine: str = "kernel"
+) -> MinMemResult:
     """Run the ``MinMem`` algorithm (Algorithm 4 of the paper).
 
     Parameters
     ----------
-    tree:
-        The task tree.
-    reuse_states:
+    tree : Tree or TreeKernel
+        The task tree (a flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted directly).
+    reuse_states : bool
         When True (default), every node keeps the exploration state it
         reached so far across sweeps and resumes from it, which is the
         behaviour that makes the algorithm fast in practice.  When False,
         only the root's reached state (the ``L_init`` / ``Tr_init`` arguments
         of Algorithm 4) survives between sweeps, exactly as in the paper's
         pseudocode; the result is identical, only slower.
+    engine : str
+        ``"kernel"`` (default) runs the array-backed
+        :func:`repro.core.kernel.kernel_min_mem` (incremental cut sums);
+        ``"reference"`` runs the original per-node implementation (kept as
+        the test oracle).  Both produce identical results.
 
     Returns
     -------
     MinMemResult
         Optimal memory and a witness traversal.
     """
+    if engine not in ("kernel", "reference"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
+    if engine == "kernel":
+        from .kernel import TreeKernel, kernel_min_mem
+
+        kern = tree if isinstance(tree, TreeKernel) else tree.kernel()
+        memory, order_idx, iterations, explore_calls = kernel_min_mem(
+            kern, reuse_states=reuse_states
+        )
+        return MinMemResult(
+            memory=memory,
+            traversal=Traversal(kern.order_to_ids(order_idx), TOPDOWN),
+            iterations=iterations,
+            explore_calls=explore_calls,
+        )
+
+    if not isinstance(tree, Tree):
+        tree = tree.to_tree()
     solver = ExploreSolver(tree, reuse_states=reuse_states)
     root = tree.root
 

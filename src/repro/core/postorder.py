@@ -55,26 +55,40 @@ class PostOrderResult:
     child_order: Dict[NodeId, Tuple[NodeId, ...]]
 
 
-def best_postorder(tree: Tree) -> PostOrderResult:
+def best_postorder(tree: Tree, *, engine: str = "kernel") -> PostOrderResult:
     """Compute the memory-optimal postorder traversal (Liu's rule).
 
     Returns a :class:`PostOrderResult`; ``result.memory`` solves the
     MinMemory-PostOrder problem of the paper.
     """
-    return postorder_with_rule(tree, rule="liu")
+    return postorder_with_rule(tree, rule="liu", engine=engine)
 
 
-def postorder_with_rule(tree: Tree, rule: str = "liu") -> PostOrderResult:
+def postorder_with_rule(
+    tree: Tree, rule: str = "liu", *, engine: str = "kernel"
+) -> PostOrderResult:
     """Compute a postorder traversal using a given child-ordering rule.
 
     Parameters
     ----------
-    tree:
-        The task tree.
-    rule:
+    tree : Tree or TreeKernel
+        The task tree (a flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted directly).
+    rule : str
         ``"liu"`` -- children in decreasing ``P_j - f_j`` (optimal among
         postorders); ``"subtree_memory"`` -- children in increasing subtree
         peak; ``"natural"`` -- children in insertion order.
+    engine : str
+        ``"kernel"`` (default) runs the array-backed sweep of
+        :func:`repro.core.kernel.kernel_postorder`; ``"reference"`` runs the
+        original per-node implementation (kept as the test oracle).  Both
+        produce identical results.
+
+    Returns
+    -------
+    PostOrderResult
+        Peak memory, the traversal (bottom-up), per-subtree peaks, and the
+        chosen child order of every node.
 
     Notes
     -----
@@ -89,7 +103,27 @@ def postorder_with_rule(tree: Tree, rule: str = "liu") -> PostOrderResult:
     """
     if rule not in POSTORDER_RULES:
         raise ValueError(f"unknown postorder rule {rule!r}; expected one of {POSTORDER_RULES}")
+    if engine not in ("kernel", "reference"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
 
+    if engine == "kernel":
+        from .kernel import TreeKernel, kernel_postorder
+
+        kern = tree if isinstance(tree, TreeKernel) else tree.kernel()
+        memory, order_idx, peaks, child_orders = kernel_postorder(kern, rule)
+        ids = kern.ids
+        return PostOrderResult(
+            memory=memory,
+            traversal=Traversal(kern.order_to_ids(order_idx), BOTTOMUP),
+            subtree_peak={ids[i]: peaks[i] for i in range(kern.size)},
+            child_order={
+                ids[i]: tuple(ids[c] for c in child_orders[i])
+                for i in range(kern.size)
+            },
+        )
+
+    if not isinstance(tree, Tree):
+        tree = tree.to_tree()
     peak: Dict[NodeId, float] = {}
     child_order: Dict[NodeId, Tuple[NodeId, ...]] = {}
 

@@ -50,14 +50,17 @@ class Tree:
     Examples
     --------
     >>> t = Tree()
-    >>> t.add_node(0, f=1.0, n=0.0)          # root
+    >>> t.add_node(0, f=1.0, n=0.0)          # root (returns the id, chainable)
+    0
     >>> t.add_node(1, parent=0, f=2.0, n=1.0)
+    1
     >>> t.add_node(2, parent=0, f=3.0, n=0.5)
+    2
     >>> t.mem_req(0)
     6.0
     """
 
-    __slots__ = ("_parent", "_children", "_f", "_n", "_root")
+    __slots__ = ("_parent", "_children", "_f", "_n", "_root", "_kernel")
 
     def __init__(self) -> None:
         self._parent: Dict[NodeId, Optional[NodeId]] = {}
@@ -65,6 +68,7 @@ class Tree:
         self._f: Dict[NodeId, float] = {}
         self._n: Dict[NodeId, float] = {}
         self._root: Optional[NodeId] = None
+        self._kernel = None  # cached TreeKernel; invalidated on mutation
 
     # ------------------------------------------------------------------
     # construction
@@ -114,17 +118,120 @@ class Tree:
         self._children[node] = []
         self._f[node] = float(f)
         self._n[node] = float(n)
+        self._kernel = None
         return node
+
+    @classmethod
+    def from_parents(
+        cls,
+        parents: Sequence[int],
+        f: Optional[Sequence[float]] = None,
+        n: Optional[Sequence[float]] = None,
+        *,
+        ids: Optional[Sequence[NodeId]] = None,
+    ) -> "Tree":
+        """Bulk-build a tree from a topologically-ordered parent array.
+
+        This is the fast path the generators and the kernel use: one pass of
+        direct dictionary fills instead of a per-node :meth:`add_node` call
+        with its membership checks.
+
+        Parameters
+        ----------
+        parents : sequence of int
+            ``parents[i]`` is the index of the parent of node ``i`` and must
+            be smaller than ``i``; entry ``0`` must be ``-1`` (or ``None``),
+            marking the root.  For unordered parent arrays use
+            :func:`repro.core.builders.from_parent_list`, which topologically
+            sorts and fully validates its input.
+        f, n : sequence of float, optional
+            Per-node weights (default ``0.0``).
+        ids : sequence, optional
+            Node identifiers (default ``0 .. p-1``); must be unique.
+
+        Returns
+        -------
+        Tree
+            A tree whose node-insertion order is ``ids`` (top-down).
+
+        Examples
+        --------
+        >>> t = Tree.from_parents([-1, 0, 0, 1], f=[0.0, 2.0, 3.0, 1.0])
+        >>> t.root, t.children(0)
+        (0, (1, 2))
+        """
+        p = len(parents)
+        if p == 0:
+            raise TreeValidationError("parents must not be empty")
+        fvals = [0.0] * p if f is None else [float(x) for x in f]
+        nvals = [0.0] * p if n is None else [float(x) for x in n]
+        if len(fvals) != p or len(nvals) != p:
+            raise TreeValidationError("parents, f and n must have the same length")
+        labels: Sequence[NodeId] = range(p) if ids is None else ids
+        if len(labels) != p:
+            raise TreeValidationError("ids must have the same length as parents")
+        tree = cls()
+        parent_map = tree._parent
+        children_map = tree._children
+        f_map = tree._f
+        n_map = tree._n
+        for i in range(p):
+            node = labels[i]
+            par = parents[i]
+            if par is None or par == -1:
+                if tree._root is not None:
+                    raise TreeValidationError("parent array has multiple roots")
+                tree._root = node
+                parent_map[node] = None
+            else:
+                par = int(par)
+                if not 0 <= par < i:
+                    raise TreeValidationError(
+                        f"parents[{i}] = {par} breaks the topological ordering"
+                    )
+                parent_id = labels[par]
+                parent_map[node] = parent_id
+                children_map[parent_id].append(node)
+            children_map[node] = []
+            f_map[node] = fvals[i]
+            n_map[node] = nvals[i]
+        if len(parent_map) != p:
+            raise TreeValidationError("ids contains duplicates")
+        if tree._root is None:
+            raise TreeValidationError("parent array has no root entry")
+        return tree
 
     def set_f(self, node: NodeId, value: float) -> None:
         """Set the communication-file size of ``node``."""
         self._require(node)
         self._f[node] = float(value)
+        self._kernel = None
 
     def set_n(self, node: NodeId, value: float) -> None:
         """Set the execution-file size of ``node``."""
         self._require(node)
         self._n[node] = float(value)
+        self._kernel = None
+
+    def kernel(self):
+        """The cached :class:`~repro.core.kernel.TreeKernel` of this tree.
+
+        The flat array-backed form every solver hot path runs on.  Built on
+        first access and cached; any mutation (:meth:`add_node`,
+        :meth:`set_f`, :meth:`set_n`) invalidates the cache, so the kernel
+        always reflects the current tree.
+
+        Returns
+        -------
+        TreeKernel
+            Contiguous parent/children-CSR arrays plus precomputed
+            ``mem_req`` / children-file sums (see :mod:`repro.core.kernel`).
+        """
+        if self._kernel is None:
+            from .kernel import TreeKernel
+
+            self._kernel = TreeKernel.from_tree(self)
+        return self._kernel
 
     # ------------------------------------------------------------------
     # basic accessors

@@ -28,7 +28,7 @@ figures; the trees can be handed directly to every algorithm of
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..core.tree import Tree
 
@@ -76,23 +76,27 @@ def iterated_harpoon_tree(
         raise ValueError("need at least one branch")
     if levels < 1:
         raise ValueError("need at least one level")
-    tree = Tree()
-    tree.add_node("root", f=epsilon, n=0.0)
-    frontier: List[str] = ["root"]
+    # emit the flat parent-array form and bulk-build (the iterated harpoon
+    # of the large benchmark scenarios has ~3 b^L nodes)
+    ids: List[str] = ["root"]
+    parents: List[int] = [-1]
+    f: List[float] = [epsilon]
+    heavy_size = memory / branches
+    frontier: List[Tuple[int, str]] = [(0, "root")]
     for level in range(1, levels + 1):
         last = level == levels
         tip_size = memory if last else epsilon
-        next_frontier: List[str] = []
-        for anchor in frontier:
+        next_frontier: List[Tuple[int, str]] = []
+        for anchor_idx, anchor in frontier:
             for b in range(branches):
-                heavy = f"{anchor}/{level}.{b}/heavy"
-                light = f"{anchor}/{level}.{b}/light"
-                tip = f"{anchor}/{level}.{b}/tip"
-                tree.add_node(heavy, parent=anchor, f=memory / branches, n=0.0)
-                tree.add_node(light, parent=heavy, f=epsilon, n=0.0)
-                tree.add_node(tip, parent=light, f=tip_size, n=0.0)
-                next_frontier.append(tip)
+                stem = f"{anchor}/{level}.{b}"
+                ids.extend((stem + "/heavy", stem + "/light", stem + "/tip"))
+                heavy_idx = len(parents)
+                parents.extend((anchor_idx, heavy_idx, heavy_idx + 1))
+                f.extend((heavy_size, epsilon, tip_size))
+                next_frontier.append((heavy_idx + 2, stem + "/tip"))
         frontier = next_frontier
+    tree = Tree.from_parents(parents, f, [0.0] * len(parents), ids=ids)
     tree.validate()
     return tree
 

@@ -79,17 +79,17 @@ def random_attachment_tree(
     if n_nodes < 1:
         raise ValueError("need at least one node")
     rng = _rng(seed)
-    tree = Tree()
-    tree.add_node(0, f=0.0, n=float(rng.randint(0, int(max_n))))
+    # emit the flat parent-array form and bulk-build; the RNG call order per
+    # node (parent, f, n) matches the historical add_node loop, so seeded
+    # instances are bit-identical across versions
+    parents = [-1]
+    f = [0.0]
+    n = [float(rng.randint(0, int(max_n)))]
     for i in range(1, n_nodes):
-        parent = rng.randrange(i)
-        tree.add_node(
-            i,
-            parent=parent,
-            f=float(rng.randint(1, int(max_f))),
-            n=float(rng.randint(0, int(max_n))),
-        )
-    return tree
+        parents.append(rng.randrange(i))
+        f.append(float(rng.randint(1, int(max_f))))
+        n.append(float(rng.randint(0, int(max_n))))
+    return Tree.from_parents(parents, f, n)
 
 
 def random_recent_attachment_tree(
@@ -108,17 +108,14 @@ def random_recent_attachment_tree(
     if n_nodes < 1:
         raise ValueError("need at least one node")
     rng = _rng(seed)
-    tree = Tree()
-    tree.add_node(0, f=0.0, n=float(rng.randint(0, int(max_n))))
+    parents = [-1]
+    f = [0.0]
+    n = [float(rng.randint(0, int(max_n)))]
     for i in range(1, n_nodes):
-        parent = rng.randrange(max(0, i - window), i)
-        tree.add_node(
-            i,
-            parent=parent,
-            f=float(rng.randint(1, int(max_f))),
-            n=float(rng.randint(0, int(max_n))),
-        )
-    return tree
+        parents.append(rng.randrange(max(0, i - window), i))
+        f.append(float(rng.randint(1, int(max_f))))
+        n.append(float(rng.randint(0, int(max_n))))
+    return Tree.from_parents(parents, f, n)
 
 
 def random_binary_tree(
@@ -136,14 +133,15 @@ def random_binary_tree(
     if n_leaves < 1:
         raise ValueError("need at least one leaf")
     rng = _rng(seed)
-    tree = Tree()
-    counter = [0]
+    parents: list = []
+    f: list = []
+    n: list = []
 
     def new_node(parent) -> int:
-        idx = counter[0]
-        counter[0] += 1
-        f = 0.0 if parent is None else float(rng.randint(1, int(max_f)))
-        tree.add_node(idx, parent=parent, f=f, n=float(rng.randint(0, int(max_n))))
+        idx = len(parents)
+        parents.append(-1 if parent is None else parent)
+        f.append(0.0 if parent is None else float(rng.randint(1, int(max_f))))
+        n.append(float(rng.randint(0, int(max_n))))
         return idx
 
     stack = [(new_node(None), n_leaves)]
@@ -155,7 +153,7 @@ def random_binary_tree(
         right = leaves - left
         stack.append((new_node(node), left))
         stack.append((new_node(node), right))
-    return tree
+    return Tree.from_parents(parents, f, n)
 
 
 def random_caterpillar(
@@ -170,23 +168,16 @@ def random_caterpillar(
     if spine < 1:
         raise ValueError("need a spine of at least one node")
     rng = _rng(seed)
-    tree = Tree()
-    tree.add_node(0, f=0.0, n=float(rng.randint(0, int(max_n))))
-    counter = spine
+    parents = [-1]
+    f = [0.0]
+    n = [float(rng.randint(0, int(max_n)))]
     for i in range(1, spine):
-        tree.add_node(
-            i,
-            parent=i - 1,
-            f=float(rng.randint(1, int(max_f))),
-            n=float(rng.randint(0, int(max_n))),
-        )
+        parents.append(i - 1)
+        f.append(float(rng.randint(1, int(max_f))))
+        n.append(float(rng.randint(0, int(max_n))))
     for i in range(spine):
         for _ in range(rng.randint(0, max_leaves)):
-            tree.add_node(
-                counter,
-                parent=i,
-                f=float(rng.randint(1, int(max_f))),
-                n=float(rng.randint(0, int(max_n))),
-            )
-            counter += 1
-    return tree
+            parents.append(i)
+            f.append(float(rng.randint(1, int(max_f))))
+            n.append(float(rng.randint(0, int(max_n))))
+    return Tree.from_parents(parents, f, n)

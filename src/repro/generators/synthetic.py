@@ -8,8 +8,6 @@ register-allocation problem.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from ..core.tree import Tree
 
 __all__ = [
@@ -24,32 +22,26 @@ def balanced_tree(arity: int, depth: int, f: float = 1.0, n: float = 0.0) -> Tre
     """A perfect ``arity``-ary tree of the given ``depth`` (root at depth 0)."""
     if arity < 1 or depth < 0:
         raise ValueError("arity must be >= 1 and depth >= 0")
-    tree = Tree()
-    tree.add_node(0, f=f, n=n)
-    counter = 1
+    parents = [-1]
     frontier = [0]
     for _ in range(depth):
         nxt = []
         for parent in frontier:
             for _ in range(arity):
-                tree.add_node(counter, parent=parent, f=f, n=n)
-                nxt.append(counter)
-                counter += 1
+                nxt.append(len(parents))
+                parents.append(parent)
         frontier = nxt
-    return tree
+    p = len(parents)
+    return Tree.from_parents(parents, [f] * p, [n] * p)
 
 
 def broom_tree(handle: int, bristles: int, f: float = 1.0, n: float = 0.0) -> Tree:
     """A chain of ``handle`` nodes ending in ``bristles`` leaves."""
     if handle < 1 or bristles < 0:
         raise ValueError("handle must be >= 1 and bristles >= 0")
-    tree = Tree()
-    tree.add_node(0, f=f, n=n)
-    for i in range(1, handle):
-        tree.add_node(i, parent=i - 1, f=f, n=n)
-    for b in range(bristles):
-        tree.add_node(handle + b, parent=handle - 1, f=f, n=n)
-    return tree
+    parents = [-1] + list(range(handle - 1)) + [handle - 1] * bristles
+    p = handle + bristles
+    return Tree.from_parents(parents, [f] * p, [n] * p)
 
 
 def bamboo_with_bushes(
@@ -58,16 +50,12 @@ def bamboo_with_bushes(
     """A spine where every node carries a star of ``bush_size`` leaves."""
     if segments < 1 or bush_size < 0:
         raise ValueError("segments must be >= 1 and bush_size >= 0")
-    tree = Tree()
-    tree.add_node(0, f=f_spine, n=n)
-    counter = segments
-    for i in range(1, segments):
-        tree.add_node(i, parent=i - 1, f=f_spine, n=n)
+    parents = [-1] + list(range(segments - 1))
+    f = [f_spine] * segments
     for i in range(segments):
-        for _ in range(bush_size):
-            tree.add_node(counter, parent=i, f=f_bush, n=n)
-            counter += 1
-    return tree
+        parents.extend([i] * bush_size)
+        f.extend([f_bush] * bush_size)
+    return Tree.from_parents(parents, f, [n] * len(parents))
 
 
 def full_binary_expression_tree(depth: int) -> Tree:

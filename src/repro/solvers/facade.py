@@ -100,23 +100,38 @@ def solve(
 
     Parameters
     ----------
-    tree:
-        The task tree.
-    algorithm:
+    tree : Tree or TreeKernel
+        The task tree.  A flat :class:`~repro.core.kernel.TreeKernel` is
+        accepted by every built-in solver and skips the per-solve
+        conversion (``Tree`` inputs cache their kernel transparently).
+    algorithm : str
         Registry name or alias (see :func:`repro.solvers.list_solvers`).
-    memory:
+    memory : float, optional
         Main-memory budget, forwarded to solvers that take one (``explore``
         and the ``minio`` family); the in-core MinMemory solvers ignore it.
-    options:
+    options
         Solver-specific keyword options (e.g. ``rule=`` for ``postorder``,
-        ``heuristic=`` for ``minio``, ``reuse_states=`` for ``minmem``).
+        ``heuristic=`` for ``minio``, ``reuse_states=`` for ``minmem``,
+        ``engine="kernel"|"reference"`` for every built-in solver).
         Options the solver does not declare raise :class:`TypeError`, so a
         typo cannot silently fall back to a default.
+
+    Returns
+    -------
+    SolveReport
+        Peak memory, witness traversal, I/O volume / schedule where
+        applicable, wall time, and solver-specific ``extras``.
 
     Raises
     ------
     UnknownSolverError
         If ``algorithm`` does not resolve to a registered solver.
+
+    Examples
+    --------
+    >>> from repro.core.builders import chain_tree
+    >>> solve(chain_tree(4, f=1.0, n=1.0), "minmem").peak_memory
+    3.0
     """
     return _dispatch(tree, algorithm, memory, options, strict=True)
 
@@ -173,22 +188,31 @@ def solve_many(
 
     Parameters
     ----------
-    trees:
-        The task trees (any iterable; it is materialised once).
-    algorithms:
+    trees : iterable of Tree or TreeKernel
+        The task trees (any iterable; it is materialised once).  Passing
+        :class:`~repro.core.kernel.TreeKernel` objects ships the compact
+        flat form to worker processes, which then skip per-tree
+        reconstruction; pickled ``Tree`` objects carry their cached kernel
+        for the same reason.
+    algorithms : str or sequence of str
         One name or a sequence of names/aliases.
-    memory, options:
-        Forwarded to every :func:`solve` call.
-    workers:
+    memory : float, optional
+        Forwarded to every :func:`solve` call (budgeted solvers only).
+    workers : int, optional
         ``None``, ``0`` or ``1`` run serially in-process.  Larger values use
         a process pool of that many workers; if the platform cannot spawn
         subprocesses the batch silently degrades to the serial path (the
         results are identical either way, only slower).
+    options
+        Forwarded to every solver with lenient dispatch (options a solver
+        does not declare are dropped for that solver, so one option set can
+        serve a mixed batch).
 
     Returns
     -------
-    One dictionary per input tree (in input order) mapping the canonical
-    algorithm name to its :class:`SolveReport`.
+    list of dict
+        One dictionary per input tree (in input order) mapping the
+        canonical algorithm name to its :class:`SolveReport`.
     """
     tree_list = list(trees)
     names = _normalize_algorithms(algorithms)
@@ -300,7 +324,36 @@ def compare(
     workers: Optional[int] = None,
     **options: Any,
 ) -> Comparison:
-    """Run several algorithms on one tree and rank the reports."""
+    """Run several algorithms on one tree and rank the reports.
+
+    Parameters
+    ----------
+    tree : Tree or TreeKernel
+        The task tree (or its flat kernel form).
+    algorithms : str or sequence of str
+        Registry names or aliases; defaults to the paper's three MinMemory
+        solvers (``postorder``, ``liu``, ``minmem``).
+    memory : float, optional
+        Budget forwarded to budgeted solvers (``explore``, ``minio``).
+    workers : int, optional
+        Worker processes, as in :func:`solve_many`.
+    options
+        Extra solver options (lenient dispatch: options a solver does not
+        declare are dropped for that solver).
+
+    Returns
+    -------
+    Comparison
+        Reports sorted best-first by (peak memory, I/O volume); ties keep
+        the requested algorithm order.
+
+    Examples
+    --------
+    >>> from repro.core.builders import chain_tree
+    >>> ranking = compare(chain_tree(4, f=1.0, n=1.0))
+    >>> ranking.best.peak_memory
+    3.0
+    """
     (reports_by_name,) = solve_many(
         [tree], algorithms, memory=memory, workers=workers, **options
     )
