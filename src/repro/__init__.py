@@ -16,7 +16,10 @@ The library is organised in six layers:
     The sparse-matrix substrate that produces the assembly trees the paper
     evaluates on: matrix generators, fill-reducing orderings, elimination
     trees, symbolic factorization, supernode amalgamation and a multifrontal
-    Cholesky engine.
+    Cholesky engine.  The symbolic pipeline (etree, column counts, column
+    patterns, amalgamation) follows the same ``engine="kernel"|"reference"``
+    convention as the solvers: vectorized flat-array implementations by
+    default, the per-entry originals as the test oracle.
 ``repro.generators``
     Synthetic tree families: harpoon graphs (Theorems 1 and 2), random-weight
     trees (Section VI-E), and parametric shapes.
@@ -131,7 +134,7 @@ from .solvers import (
     solve_many,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

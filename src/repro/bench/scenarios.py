@@ -1,7 +1,7 @@
 """Built-in benchmark scenarios.
 
 Importing this module populates the scenario registry with the default
-campaign: five tree families mirroring the paper's experimental section,
+campaign: seven tree families mirroring the paper's experimental section,
 each swept over sizes and run with the three MinMemory algorithms
 (PostOrder, Liu, MinMem) plus -- where out-of-core behaviour matters -- the
 budgeted solvers (``explore`` and the MinIO eviction heuristics).
@@ -19,6 +19,10 @@ scenario           family      trees
                                (orderings x relaxed amalgamation)
 ``etree``          etree       elimination trees of matrices round-tripped
                                through the MatrixMarket format
+``sparse_pipeline`` sparse_pipeline  grid-Laplacian assembly trees at 10k-250k
+                               rows through the vectorized symbolic pipeline
+``large``          large       kernel-scale synthetic instances (100k chain,
+                               88k harpoon, deep random)
 =================  ==========  ===================================================
 
 Every builder takes the run ``seed`` and threads it into the random-tree
@@ -192,6 +196,44 @@ def _large(seed: int) -> List[Tuple[str, Tree]]:
         ("harpoon-b3-l9", iterated_harpoon_tree(3, levels=9, memory=1.0, epsilon=0.01)),
         ("deep-50k", random_recent_attachment_tree(50_000, seed=seed + 1, window=8)),
         ("caterpillar-20k", random_caterpillar(20_000, seed=seed + 3, max_leaves=3)),
+    ]
+
+
+@register_scenario(
+    "sparse_pipeline",
+    family="sparse_pipeline",
+    algorithms=MINMEMORY_ALGORITHMS,
+    summary="grid-Laplacian assembly trees at 10k-250k rows "
+            "(vectorized ordering -> etree -> counts -> amalgamation)",
+    tags=("sparse", "scale", "kernel"),
+    smoke=False,
+)
+def _sparse_pipeline(seed: int) -> List[Tuple[str, Tree]]:
+    """End-to-end symbolic pipeline on large grid Laplacians.
+
+    Every instance runs the full matrix -> assembly-tree pipeline of
+    Section VI-B (symmetrize, fill-reducing ordering, elimination tree,
+    column counts, relaxed amalgamation) on the vectorized kernel engine
+    before the solvers are timed on the resulting weighted tree.  The sweep
+    spans 10k to 250k matrix rows -- two orders of magnitude above what the
+    per-entry reference layer could build in reasonable time -- including a
+    >= 100k-row 2-D grid.  Excluded from the smoke set; the CI bench job
+    runs it explicitly with ``--engine kernel``.
+    """
+    del seed  # deterministic matrices and orderings
+    from ..sparse.assembly import build_assembly_tree
+    from ..sparse.matrices import grid_laplacian_2d, grid_laplacian_3d
+
+    specs = [
+        # (instance, matrix, ordering, relaxed): 10k / 10.6k / 102k / 250k rows
+        ("grid2d-100x100-rcm-r4", grid_laplacian_2d(100), "rcm", 4),
+        ("grid3d-22-rcm-r4", grid_laplacian_3d(22), "rcm", 4),
+        ("grid2d-320x320-rcm-r4", grid_laplacian_2d(320), "rcm", 4),
+        ("grid2d-500x500-natural-r16", grid_laplacian_2d(500), "natural", 16),
+    ]
+    return [
+        (name, build_assembly_tree(matrix, ordering=ordering, relaxed=relaxed).tree)
+        for name, matrix, ordering, relaxed in specs
     ]
 
 

@@ -117,6 +117,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workers", type=int, default=None,
                        help="worker processes for the experiment batch (default: serial)")
 
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help="run the sparse symbolic pipeline (ordering -> etree -> counts "
+             "-> amalgamation -> solvers) on one matrix",
+    )
+    src = p_pipe.add_mutually_exclusive_group(required=True)
+    src.add_argument("--grid2d", type=int, metavar="N",
+                     help="N x N 2-D grid Laplacian (5-point stencil)")
+    src.add_argument("--grid3d", type=int, metavar="N",
+                     help="N x N x N 3-D grid Laplacian (7-point stencil)")
+    src.add_argument("--mtx", type=Path, metavar="FILE",
+                     help="MatrixMarket coordinate file to load")
+    p_pipe.add_argument("--ordering", default="rcm",
+                        help="fill-reducing ordering (natural, rcm, "
+                             "minimum_degree, nested_dissection; default: rcm)")
+    p_pipe.add_argument("--relaxed", type=int, default=1,
+                        help="relaxed-amalgamation budget per supernode (default: 1)")
+    p_pipe.add_argument("--engine", choices=("kernel", "reference"), default=None,
+                        help="symbolic + solver engine: 'kernel' = vectorized "
+                             "(default), 'reference' = per-entry oracle")
+    p_pipe.add_argument("--algorithm", "-a", action="append", default=None,
+                        metavar="NAME",
+                        help="solver to run on the assembly tree (repeatable; "
+                             "default: postorder, liu, minmem)")
+    p_pipe.add_argument("--json", action="store_true",
+                        help="emit the stage timings, symbolic statistics and "
+                             "solver reports as JSON")
+
     p_bench = sub.add_parser(
         "bench", help="run the scenario-sweep benchmarks (see repro.bench)"
     )
@@ -169,6 +197,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_dataset(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "pipeline":
+            return _cmd_pipeline(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except UnknownSolverError as exc:
@@ -276,6 +306,76 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
             save_tree(instance.tree, path)
             count += 1
     print(f"wrote {count} trees to {args.output}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    # imported lazily: only this subcommand needs the sparse substrate
+    from .sparse.assembly import build_assembly_tree
+    from .sparse.matrices import grid_laplacian_2d, grid_laplacian_3d
+    from .sparse.mmio import read_matrix_market
+    from .sparse.ordering import ORDERINGS
+
+    engine = args.engine or "kernel"
+    if args.ordering not in ORDERINGS:
+        print(f"error: unknown ordering {args.ordering!r}; expected one of "
+              f"{sorted(ORDERINGS)}", file=sys.stderr)
+        return 2
+    if args.grid2d is not None:
+        source, matrix = f"grid2d-{args.grid2d}", grid_laplacian_2d(args.grid2d)
+    elif args.grid3d is not None:
+        source, matrix = f"grid3d-{args.grid3d}", grid_laplacian_3d(args.grid3d)
+    else:
+        try:
+            source, matrix = str(args.mtx), read_matrix_market(args.mtx)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    stages: dict = {}
+    try:
+        result = build_assembly_tree(
+            matrix,
+            ordering=args.ordering,
+            relaxed=args.relaxed,
+            engine=engine,
+            stage_seconds=stages,
+        )
+    except ValueError as exc:  # e.g. a rectangular MatrixMarket file
+        print(f"error: {source}: {exc}", file=sys.stderr)
+        return 1
+    tree, stats = result.tree, result.symbolic
+
+    algorithms = args.algorithm or ["postorder", "liu", "minmem"]
+    reports = [solve(tree, name, engine=engine) for name in algorithms]
+
+    if args.json:
+        print(json.dumps({
+            "source": source,
+            "ordering": args.ordering,
+            "relaxed": args.relaxed,
+            "engine": engine,
+            "n": stats.n,
+            "nnz_a": stats.nnz_a,
+            "nnz_l": stats.nnz_l,
+            "flops": stats.flops,
+            "fill_ratio": stats.fill_ratio,
+            "supernodes": tree.size,
+            "stage_seconds": stages,
+            "reports": [solve_report_to_dict(r) for r in reports],
+        }, indent=2))
+        return 0
+
+    print(f"matrix                : {source} "
+          f"(n={stats.n}, nnz(tril A)={stats.nnz_a})")
+    print(f"ordering / relaxed    : {args.ordering} / {args.relaxed} "
+          f"(engine {engine})")
+    print(f"nnz(L) / fill ratio   : {stats.nnz_l} / {stats.fill_ratio:.2f}")
+    print(f"assembly tree         : {tree.size} supernodes")
+    for name, seconds in stages.items():
+        print(f"  {name:<20}: {seconds * 1e3:8.2f} ms")
+    for report in reports:
+        print(f"  {report.summary()}")
     return 0
 
 

@@ -33,6 +33,15 @@ __all__ = ["Tree", "TreeValidationError"]
 NodeId = Hashable
 
 
+def _as_float_list(values, p: int) -> list:
+    """Per-node weights as a plain list of floats (bulk-converting numpy)."""
+    if values is None:
+        return [0.0] * p
+    if hasattr(values, "astype"):  # numpy fast path: one vectorized cast
+        return values.astype(float, copy=False).tolist()
+    return [float(x) for x in values]
+
+
 class TreeValidationError(ValueError):
     """Raised when a :class:`Tree` violates a structural invariant."""
 
@@ -129,6 +138,7 @@ class Tree:
         n: Optional[Sequence[float]] = None,
         *,
         ids: Optional[Sequence[NodeId]] = None,
+        build_kernel: bool = False,
     ) -> "Tree":
         """Bulk-build a tree from a topologically-ordered parent array.
 
@@ -148,6 +158,13 @@ class Tree:
             Per-node weights (default ``0.0``).
         ids : sequence, optional
             Node identifiers (default ``0 .. p-1``); must be unique.
+        build_kernel : bool, optional
+            When True, also build the :class:`~repro.core.kernel.TreeKernel`
+            straight from the same arrays and cache it on the tree.  The
+            input is already a topological labeling -- exactly what the
+            kernel constructor wants -- so this skips the BFS relabeling pass
+            a later :meth:`kernel` call would pay.  Children orders are
+            identical either way.
 
         Returns
         -------
@@ -163,8 +180,10 @@ class Tree:
         p = len(parents)
         if p == 0:
             raise TreeValidationError("parents must not be empty")
-        fvals = [0.0] * p if f is None else [float(x) for x in f]
-        nvals = [0.0] * p if n is None else [float(x) for x in n]
+        if hasattr(parents, "tolist"):  # numpy fast path: one bulk conversion
+            parents = parents.tolist()
+        fvals = _as_float_list(f, p)
+        nvals = _as_float_list(n, p)
         if len(fvals) != p or len(nvals) != p:
             raise TreeValidationError("parents, f and n must have the same length")
         labels: Sequence[NodeId] = range(p) if ids is None else ids
@@ -199,6 +218,11 @@ class Tree:
             raise TreeValidationError("ids contains duplicates")
         if tree._root is None:
             raise TreeValidationError("parent array has no root entry")
+        if build_kernel:
+            from .kernel import TreeKernel
+
+            normalized = [-1 if x is None else int(x) for x in parents]
+            tree._kernel = TreeKernel(normalized, fvals, nvals, ids=list(labels))
         return tree
 
     def set_f(self, node: NodeId, value: float) -> None:

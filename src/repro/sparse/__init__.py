@@ -12,6 +12,7 @@ from .etree import (
     elimination_tree,
     etree_children,
     etree_heights,
+    etree_levels,
     etree_postorder,
     etree_to_task_tree,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "elimination_tree",
     "etree_children",
     "etree_heights",
+    "etree_levels",
     "etree_postorder",
     "etree_to_task_tree",
     "symmetrized_pattern",

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .etree import etree_children
+from .etree import _check_engine, etree_children
 
 __all__ = ["Supernode", "AmalgamatedTree", "amalgamate"]
 
@@ -98,43 +98,14 @@ class AmalgamatedTree:
         return out
 
 
-def amalgamate(
-    parent: Sequence[int],
-    counts: Sequence[int],
-    *,
-    relaxed: int = 1,
-    perfect: bool = True,
-) -> AmalgamatedTree:
-    """Amalgamate an elimination tree into an assembly tree.
-
-    Parameters
-    ----------
-    parent:
-        Elimination-tree parent array (``-1`` for roots).
-    counts:
-        Column counts ``mu_j`` of the Cholesky factor (diagonal included).
-    relaxed:
-        Maximum number of relaxed (non-perfect) child absorptions per
-        supernode; ``0`` disables relaxed amalgamation.
-    perfect:
-        Whether to perform perfect amalgamation first (the paper always
-        does).
-
-    Returns
-    -------
-    AmalgamatedTree
-        Supernodes with paper-compatible weights and the quotient tree.
-    """
-    parent = np.asarray(parent, dtype=np.int64)
-    counts = np.asarray(counts, dtype=np.int64)
+def _reference_perfect_leaders(
+    parent: np.ndarray, counts: np.ndarray, perfect: bool
+) -> np.ndarray:
+    """Topmost column of every perfect-amalgamation chain (union-find oracle)."""
     n = parent.size
-    if counts.size != n:
-        raise ValueError("parent and counts must have the same length")
     children = etree_children(parent)
 
-    # ------------------------------------------------------------------
     # union-find over columns; the set representative is the topmost column
-    # ------------------------------------------------------------------
     leader = np.arange(n, dtype=np.int64)
 
     def find(v: int) -> int:
@@ -152,18 +123,94 @@ def amalgamate(
                 continue
             if len(children[p]) == 1 and counts[p] == counts[v] - 1:
                 leader[find(v)] = find(p)
+    return np.asarray([find(v) for v in range(n)], dtype=np.int64)
+
+
+def _kernel_perfect_leaders(
+    parent: np.ndarray, counts: np.ndarray, perfect: bool
+) -> np.ndarray:
+    """Vectorized perfect-amalgamation chains via pointer doubling.
+
+    A column merges with its parent exactly when it is the parent's only
+    child and the parent's count is one smaller (no fill).  Those merges form
+    parent-chains, so the set representative of ``v`` is the topmost vertex
+    reachable through consecutively mergeable edges -- resolved by doubling
+    the merge-edge pointer, no per-column union-find.
+    """
+    n = parent.size
+    leader = np.arange(n, dtype=np.int64)
+    if not perfect or n == 0:
+        return leader
+    safe_parent = np.clip(parent, 0, None)
+    child_count = np.bincount(parent[parent >= 0], minlength=n)
+    merge_up = (
+        (parent >= 0)
+        & (child_count[safe_parent] == 1)
+        & (counts[safe_parent] == counts - 1)
+    )
+    leader = np.where(merge_up, safe_parent, leader)
+    while True:
+        nxt = leader[leader]
+        if np.array_equal(nxt, leader):
+            return leader
+        leader = nxt
+
+
+def amalgamate(
+    parent: Sequence[int],
+    counts: Sequence[int],
+    *,
+    relaxed: int = 1,
+    perfect: bool = True,
+    engine: str = "kernel",
+) -> AmalgamatedTree:
+    """Amalgamate an elimination tree into an assembly tree.
+
+    Parameters
+    ----------
+    parent:
+        Elimination-tree parent array (``-1`` for roots).
+    counts:
+        Column counts ``mu_j`` of the Cholesky factor (diagonal included).
+    relaxed:
+        Maximum number of relaxed (non-perfect) child absorptions per
+        supernode; ``0`` disables relaxed amalgamation.
+    perfect:
+        Whether to perform perfect amalgamation first (the paper always
+        does).
+    engine:
+        ``"kernel"`` (default) resolves the perfect-amalgamation chains with
+        vectorized pointer doubling; ``"reference"`` is the original
+        per-column union-find.  Both produce identical supernodes (the
+        relaxed phase is shared and order-independent).
+
+    Returns
+    -------
+    AmalgamatedTree
+        Supernodes with paper-compatible weights and the quotient tree.
+    """
+    _check_engine(engine)
+    parent = np.asarray(parent, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    n = parent.size
+    if counts.size != n:
+        raise ValueError("parent and counts must have the same length")
+    if engine == "reference":
+        leader = _reference_perfect_leaders(parent, counts, perfect)
+    else:
+        leader = _kernel_perfect_leaders(parent, counts, perfect)
 
     # ------------------------------------------------------------------
     # build the quotient (perfectly amalgamated) tree
     # ------------------------------------------------------------------
     groups: Dict[int, List[int]] = {}
-    for v in range(n):
-        groups.setdefault(find(v), []).append(v)
+    for v, rep in enumerate(leader.tolist()):
+        groups.setdefault(rep, []).append(v)
 
     def quotient_parent(rep: int) -> int:
         top = max(groups[rep])  # topmost member: largest column index
         p = int(parent[top])
-        return -1 if p < 0 else find(p)
+        return -1 if p < 0 else int(leader[p])
 
     # ------------------------------------------------------------------
     # relaxed amalgamation on the quotient tree (top-down, densest child)

@@ -17,8 +17,9 @@ for inspection.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -74,6 +75,8 @@ def build_assembly_tree(
     ordering: Union[str, Sequence[int]] = "nested_dissection",
     relaxed: int = 1,
     perfect: bool = True,
+    engine: str = "kernel",
+    stage_seconds: Optional[Dict[str, float]] = None,
 ) -> AssemblyTreeResult:
     """Build a weighted assembly tree from a sparse symmetric matrix.
 
@@ -90,25 +93,60 @@ def build_assembly_tree(
         and 16).
     perfect:
         Whether perfect amalgamation is applied first (default True).
+    engine:
+        ``"kernel"`` (default) runs the vectorized symbolic pipeline
+        (etree, column counts, amalgamation); ``"reference"`` the original
+        per-entry implementations.  Identical results either way.
+    stage_seconds:
+        Optional dict the pipeline fills with per-stage wall times (keys
+        ``symmetrize``, ``ordering``, ``permute``, ``etree``, ``counts``,
+        ``amalgamate``, ``tree``), so callers like the CLI ``pipeline``
+        subcommand report timings without re-implementing the stage
+        sequence.
     """
-    pattern = symmetrized_pattern(matrix)
+    if stage_seconds is None:
+        def staged(name, fn):
+            return fn()
+    else:
+        def staged(name, fn):
+            start = time.perf_counter()
+            result = fn()
+            stage_seconds[name] = time.perf_counter() - start
+            return result
+
+    pattern = staged("symmetrize", lambda: symmetrized_pattern(matrix))
     if isinstance(ordering, str):
         if ordering not in ORDERINGS:
             raise ValueError(
                 f"unknown ordering {ordering!r}; expected one of {sorted(ORDERINGS)}"
             )
-        perm = ORDERINGS[ordering](pattern)
+        perm = staged("ordering", lambda: ORDERINGS[ordering](pattern))
         ordering_name = ordering
     else:
         perm = np.asarray(ordering, dtype=np.int64)
         ordering_name = "custom"
-    permuted = apply_ordering(pattern, perm)
+    permuted = staged("permute", lambda: apply_ordering(pattern, perm))
 
-    parent = elimination_tree(permuted, symmetrize=False)
-    counts = column_counts(permuted, parent)
-    stats = symbolic_stats(permuted, parent)
-    amalgamated = amalgamate(parent, counts, relaxed=relaxed, perfect=perfect)
-    tree = assembly_tree_from_etree(amalgamated)
+    # `permuted` is the symmetrized pattern under a symmetric permutation, so
+    # every downstream stage can skip its own re-symmetrization pass
+    parent = staged(
+        "etree",
+        lambda: elimination_tree(permuted, symmetrize=False, engine=engine),
+    )
+    counts = staged(
+        "counts",
+        lambda: column_counts(permuted, parent, engine=engine, symmetrize=False),
+    )
+    stats = symbolic_stats(
+        permuted, parent, counts=counts, engine=engine, symmetrize=False
+    )
+    amalgamated = staged(
+        "amalgamate",
+        lambda: amalgamate(
+            parent, counts, relaxed=relaxed, perfect=perfect, engine=engine
+        ),
+    )
+    tree = staged("tree", lambda: assembly_tree_from_etree(amalgamated))
     return AssemblyTreeResult(
         tree=tree,
         permutation=perm,

@@ -34,8 +34,13 @@ def symmetrized_pattern(matrix: sp.spmatrix) -> sp.csr_matrix:
     n = matrix.shape[0]
     if matrix.shape[0] != matrix.shape[1]:
         raise ValueError("matrix must be square")
+    # Build the pattern from the *stored* structure (coo.row/coo.col), not
+    # from matrix.nonzero(): the latter drops explicitly stored zeros, whose
+    # coordinates then disagree with matrix.nnz and crash the constructor.
+    # Matrices loaded from Matrix Market files routinely carry such entries.
+    coo = sp.coo_matrix(matrix)
     pattern = sp.csr_matrix(
-        (np.ones(matrix.nnz), matrix.nonzero()), shape=matrix.shape
+        (np.ones(coo.row.size), (coo.row, coo.col)), shape=matrix.shape
     )
     sym = pattern + pattern.T + sp.identity(n, format="csr")
     sym.data[:] = 1.0

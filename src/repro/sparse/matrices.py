@@ -85,12 +85,12 @@ def grid_laplacian_2d(nx: int, ny: Optional[int] = None, stencil: int = 5) -> sp
     rows, cols, vals = [], [], []
 
     def add(a: np.ndarray, b: np.ndarray, value: float) -> None:
-        rows.extend(a.ravel())
-        cols.extend(b.ravel())
-        vals.extend([value] * a.size)
-        rows.extend(b.ravel())
-        cols.extend(a.ravel())
-        vals.extend([value] * a.size)
+        # flat array chunks, concatenated once below: the entry lists of a
+        # 250k-row grid never pass through per-element Python iteration
+        a, b = a.ravel(), b.ravel()
+        rows.extend((a, b))
+        cols.extend((b, a))
+        vals.append(np.full(2 * a.size, value))
 
     add(idx[:-1, :], idx[1:, :], -1.0)
     add(idx[:, :-1], idx[:, 1:], -1.0)
@@ -98,7 +98,10 @@ def grid_laplacian_2d(nx: int, ny: Optional[int] = None, stencil: int = 5) -> sp
         add(idx[:-1, :-1], idx[1:, 1:], -0.5)
         add(idx[:-1, 1:], idx[1:, :-1], -0.5)
     n = nx * ny
-    off = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    off = sp.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    )
     degree = -np.asarray(off.sum(axis=1)).ravel()
     return _to_csc(off + sp.diags(degree + 1.0))
 
@@ -113,16 +116,18 @@ def grid_laplacian_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = Non
     rows, cols = [], []
 
     def add(a: np.ndarray, b: np.ndarray) -> None:
-        rows.extend(a.ravel())
-        cols.extend(b.ravel())
-        rows.extend(b.ravel())
-        cols.extend(a.ravel())
+        a, b = a.ravel(), b.ravel()
+        rows.extend((a, b))
+        cols.extend((b, a))
 
     add(idx[:-1, :, :], idx[1:, :, :])
     add(idx[:, :-1, :], idx[:, 1:, :])
     add(idx[:, :, :-1], idx[:, :, 1:])
     n = nx * ny * nz
-    off = sp.coo_matrix((-np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    rows_flat = np.concatenate(rows)
+    off = sp.coo_matrix(
+        (-np.ones(rows_flat.size), (rows_flat, np.concatenate(cols))), shape=(n, n)
+    )
     degree = -np.asarray(off.sum(axis=1)).ravel()
     return _to_csc(off + sp.diags(degree + 1.0))
 
@@ -139,17 +144,18 @@ def anisotropic_laplacian_2d(nx: int, ny: Optional[int] = None, ratio: float = 1
     rows, cols, vals = [], [], []
 
     def add(a: np.ndarray, b: np.ndarray, value: float) -> None:
-        rows.extend(a.ravel())
-        cols.extend(b.ravel())
-        vals.extend([value] * a.size)
-        rows.extend(b.ravel())
-        cols.extend(a.ravel())
-        vals.extend([value] * a.size)
+        a, b = a.ravel(), b.ravel()
+        rows.extend((a, b))
+        cols.extend((b, a))
+        vals.append(np.full(2 * a.size, value))
 
     add(idx[:-1, :], idx[1:, :], -1.0)
     add(idx[:, :-1], idx[:, 1:], -float(ratio))
     n = nx * ny
-    off = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    off = sp.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    )
     degree = -np.asarray(off.sum(axis=1)).ravel()
     return _to_csc(off + sp.diags(degree + 1.0))
 

@@ -52,6 +52,10 @@ def read_matrix_market(path: Union[str, Path]) -> sp.csc_matrix:
             line = line.strip()
             if not line or line.startswith("%"):
                 continue
+            if count >= nnz:
+                raise ValueError(
+                    f"{path}: more entries than the declared {nnz}"
+                )
             parts = line.split()
             rows[count] = int(parts[0]) - 1
             cols[count] = int(parts[1]) - 1
@@ -60,6 +64,13 @@ def read_matrix_market(path: Union[str, Path]) -> sp.csc_matrix:
         if count != nnz:
             raise ValueError(f"{path}: expected {nnz} entries, found {count}")
 
+    if symmetry == "skew-symmetric":
+        bad = (rows == cols) & (vals != 0.0)
+        if np.any(bad):
+            raise ValueError(
+                f"{path}: skew-symmetric file stores {int(bad.sum())} nonzero "
+                f"diagonal entries (a_ii = -a_ii forces a zero diagonal)"
+            )
     matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
     if symmetry in ("symmetric", "skew-symmetric"):
         off_diag = rows != cols

@@ -35,10 +35,24 @@ class TestRegistry:
         import repro.bench  # noqa: F401
 
         names = list_scenarios()
-        for expected in ("synthetic", "random", "harpoon", "assembly", "etree"):
+        for expected in (
+            "synthetic", "random", "harpoon", "assembly", "etree",
+            "sparse_pipeline",
+        ):
             assert expected in names
         families = {s.family for s in scenario_table()}
         assert len(families) >= 4
+
+    def test_sparse_pipeline_scenario_metadata(self):
+        import repro.bench  # noqa: F401
+
+        scenario = get_scenario("sparse_pipeline")
+        # too large for the smoke gate; CI runs it explicitly on the kernel
+        # engine (the builder itself is exercised by test_sparse_kernel.py)
+        assert not scenario.smoke
+        assert scenario.family == "sparse_pipeline"
+        assert "minmem" in scenario.algorithms
+        assert "scale" in scenario.tags
 
     def test_register_and_get(self):
         @register_scenario(

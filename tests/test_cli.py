@@ -74,3 +74,55 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert "levels" in out
         assert "ratio" in out
+
+
+class TestPipelineCommand:
+    def test_grid2d_end_to_end(self, capsys):
+        assert main(["pipeline", "--grid2d", "12", "--ordering", "rcm",
+                     "--relaxed", "2"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("symmetrize", "ordering", "etree", "counts", "amalgamate"):
+            assert stage in out
+        assert "supernodes" in out
+        assert "minmem" in out
+
+    def test_json_output_both_engines_agree(self, capsys):
+        docs = []
+        for engine in ("kernel", "reference"):
+            assert main(["pipeline", "--grid2d", "9", "--engine", engine,
+                         "--json"]) == 0
+            docs.append(json.loads(capsys.readouterr().out))
+        kernel, reference = docs
+        assert kernel["nnz_l"] == reference["nnz_l"]
+        assert kernel["supernodes"] == reference["supernodes"]
+        peaks = lambda doc: [r["peak_memory"] for r in doc["reports"]]  # noqa: E731
+        assert peaks(kernel) == peaks(reference)
+
+    def test_mtx_source_and_algorithm_selection(self, tmp_path, capsys):
+        from repro.sparse.matrices import grid_laplacian_2d
+        from repro.sparse.mmio import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(grid_laplacian_2d(5), path, symmetric=True)
+        assert main(["pipeline", "--mtx", str(path), "-a", "liu"]) == 0
+        out = capsys.readouterr().out
+        assert "liu" in out and "postorder" not in out
+
+    def test_unknown_ordering_rejected(self, capsys):
+        assert main(["pipeline", "--grid2d", "4", "--ordering", "amd"]) == 2
+        assert "unknown ordering" in capsys.readouterr().err
+
+    def test_unreadable_mtx_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("not a matrix\n")
+        assert main(["pipeline", "--mtx", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_rectangular_mtx_reports_error(self, tmp_path, capsys):
+        rect = tmp_path / "rect.mtx"
+        rect.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n"
+        )
+        assert main(["pipeline", "--mtx", str(rect)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "square" in err

@@ -32,6 +32,36 @@ class TestSymmetrizedPattern:
         with pytest.raises(ValueError):
             symmetrized_pattern(sp.csr_matrix(np.ones((2, 3))))
 
+    def test_explicitly_stored_zeros(self):
+        # regression: .nonzero() drops stored zeros while .nnz counts them,
+        # which used to crash the pattern constructor with a length mismatch
+        a = sp.csc_matrix(
+            (np.array([2.0, 0.0, 3.0]), (np.array([0, 2, 1]), np.array([0, 0, 1]))),
+            shape=(3, 3),
+        )
+        assert a.nnz == 3  # the zero at (2, 0) really is stored
+        pattern = symmetrized_pattern(a)
+        dense = pattern.toarray()
+        # the stored-zero position is part of the structural pattern
+        assert dense[2, 0] == 1.0 and dense[0, 2] == 1.0
+        assert np.array_equal(dense, dense.T)
+
+    def test_explicit_zero_matrix_market_regression(self):
+        # the same crash, reproduced through a MatrixMarket file that stores
+        # an explicit zero entry (as collection files routinely do)
+        from pathlib import Path
+
+        from repro.sparse.mmio import read_matrix_market
+
+        path = Path(__file__).parent / "data" / "explicit_zero.mtx"
+        matrix = read_matrix_market(path)
+        assert matrix.nnz > np.count_nonzero(matrix.toarray())
+        pattern = symmetrized_pattern(matrix)
+        dense = pattern.toarray()
+        assert dense[3, 1] == 1.0 and dense[1, 3] == 1.0
+        assert np.array_equal(dense, dense.T)
+        assert np.all(np.diag(dense) == 1.0)
+
 
 class TestAdjacencyAndComponents:
     def test_adjacency_excludes_self_loops(self):

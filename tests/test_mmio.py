@@ -91,3 +91,44 @@ class TestFormats:
         path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n")
         with pytest.raises(ValueError):
             read_matrix_market(path)
+
+    def test_rejects_too_many_entries(self, tmp_path):
+        # used to escape as a raw IndexError from the preallocated arrays
+        path = tmp_path / "overlong.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1 1.0\n2 2 2.0\n2 1 3.0\n"
+        )
+        with pytest.raises(ValueError, match="overlong.mtx"):
+            read_matrix_market(path)
+
+    def test_rejects_nonzero_skew_diagonal(self, tmp_path):
+        # a_ii = -a_ii forces a zero diagonal; nonzero entries were silently kept
+        path = tmp_path / "skewdiag.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 2\n"
+            "2 1 3.0\n1 1 5.0\n"
+        )
+        with pytest.raises(ValueError, match="skewdiag.mtx"):
+            read_matrix_market(path)
+
+    def test_accepts_explicit_zero_skew_diagonal(self, tmp_path):
+        path = tmp_path / "skewzero.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 2\n"
+            "2 1 3.0\n1 1 0.0\n"
+        )
+        a = read_matrix_market(path)
+        assert a[1, 0] == 3.0 and a[0, 1] == -3.0 and a[0, 0] == 0.0
+
+    def test_reads_explicit_zero_fixture(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent / "data" / "explicit_zero.mtx"
+        a = read_matrix_market(path)
+        assert a.shape == (4, 4)
+        # the explicitly stored zero at (4, 2) survives the round trip
+        assert a.nnz > np.count_nonzero(a.toarray())
