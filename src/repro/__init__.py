@@ -25,9 +25,11 @@ The library is organised in six layers:
     trees (Section VI-E), and parametric shapes.
 ``repro.solvers``
     The unified entry point: a registry of every algorithm exposed under a
-    common name, the :class:`SolveReport` result type, and the
-    ``solve``/``solve_many``/``compare`` facade (with process-parallel
-    batching across trees).
+    common name, the :class:`SolveReport` result type, the
+    ``solve``/``solve_many``/``compare`` facade, and the persistent
+    shared-memory batch engine (``repro.solvers.engine``) that fans
+    parallel batches over a reusable worker pool, shipping each tree's
+    kernel to the workers exactly once.
 ``repro.analysis``
     Dolan--Moré performance profiles, statistics tables, dataset builders and
     the experiment drivers that regenerate every table and figure of the
@@ -36,7 +38,8 @@ The library is organised in six layers:
     The benchmark subsystem: a decorator-based registry of *scenarios*
     (tree family x sizes x algorithms x memory budgets), an independent
     schedule-replay engine that re-validates every reported schedule, a
-    runner with warmup/repeat timing and parallel workers, and
+    campaign-planning runner with warmup/repeat timing that fans each
+    scenario's full cell grid through the batch engine, and
     schema-versioned ``BENCH_<timestamp>.json`` artifacts with a regression
     ``compare`` mode.
 
@@ -134,7 +137,7 @@ from .solvers import (
     solve_many,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

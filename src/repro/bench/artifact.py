@@ -17,6 +17,8 @@ machines.  The document layout (schema version 1):
       },
       "run": {                         # campaign parameters
         "seed": 0, "repeat": 3, "warmup": 1, "workers": null,
+        "pool": null,                  # executor mode (null = persistent engine)
+        "campaign_seconds": 12.3,      # end-to-end campaign wall time
         "scenarios": ["assembly", ...]
       },
       "records": [ {                   # one object per benchmark cell
@@ -114,6 +116,10 @@ def run_to_dict(run: BenchRun, *, created_utc: Optional[str] = None) -> Dict[str
             "repeat": run.repeat,
             "warmup": run.warmup,
             "workers": run.workers,
+            "pool": run.pool,
+            # end-to-end wall time of the campaign (dispatch overhead
+            # included), unlike the per-solver wall_time stamps
+            "campaign_seconds": run.campaign_seconds,
             "scenarios": list(run.scenarios),
         },
         "records": records,

@@ -1,11 +1,8 @@
-"""Scenario runner: execute the campaign and collect per-run metrics.
+"""Scenario runner: plan the campaign, execute it, collect per-run metrics.
 
 :func:`run_scenarios` materialises every selected scenario's trees (seeded,
-so repeated runs use identical instances), fans the ``trees x algorithms``
-batch through :func:`repro.solvers.solve_many` (optionally across worker
-processes), repeats each batch ``repeat`` times after ``warmup`` discarded
-rounds, and collects one :class:`BenchRecord` per (scenario, instance,
-algorithm, budget) cell:
+so repeated runs use identical instances) and collects one
+:class:`BenchRecord` per (scenario, instance, algorithm, budget) cell:
 
 * wall time: best and mean over the repeats, measured inside the solver via
   ``perf_counter`` (the facade stamps ``SolveReport.wall_time``);
@@ -18,15 +15,30 @@ algorithm, budget) cell:
 Budgeted solvers (``explore``, the ``minio`` family) are additionally swept
 over the scenario's ``budget_fractions``, interpolating between the trivial
 lower bound ``max MemReq`` and the in-core optimal peak.
+
+Execution is a *campaign plan*: with the default ``pool="persistent"`` each
+scenario's full cell grid is expanded into batched fan-outs over the
+persistent shared-memory engine (:mod:`repro.solvers.engine`) -- first the
+plain (unbudgeted) algorithms for every instance and round, then, once the
+reference peaks are known, every budgeted (algorithm, budget, round) cell
+across all instances at once.  Warmup cells fan out (and complete) before
+the timed cells of the same stage, so warmup keeps its meaning under
+parallel execution.  The budget sweeps that the per-call pool ran
+as serial size-1 batches therefore parallelize, worker processes persist
+across rounds, and each tree ships to the workers exactly once.
+``pool="fresh"`` and ``pool="serial"`` keep the legacy loop structure (one
+``solve_many`` call per round, one one-shot pool per call) for comparison;
+all modes produce bit-identical reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.tree import Tree
-from ..solvers.facade import solve_many
+from ..solvers.facade import POOL_MODES, _solve_task, solve_many
 from ..solvers.registry import get_solver
 from ..solvers.report import SolveReport
 from .replay import ReplayError, replay_report
@@ -74,7 +86,15 @@ class BenchRecord:
 
 @dataclass(frozen=True)
 class BenchRun:
-    """Outcome of one benchmark campaign."""
+    """Outcome of one benchmark campaign.
+
+    ``pool`` records the executor mode the campaign ran with (``None`` =
+    the default, the persistent engine) and ``campaign_seconds`` the
+    end-to-end wall time of :func:`run_scenarios` -- tree building, solver
+    rounds, replay validation and record assembly included -- which is the
+    number that exposes dispatch overhead invisible to the per-solver
+    ``wall_time`` stamps.
+    """
 
     records: Tuple[BenchRecord, ...]
     seed: int
@@ -82,6 +102,8 @@ class BenchRun:
     warmup: int
     workers: Optional[int]
     scenarios: Tuple[str, ...]
+    pool: Optional[str] = None
+    campaign_seconds: float = 0.0
 
     @property
     def families(self) -> Tuple[str, ...]:
@@ -147,6 +169,7 @@ def run_scenarios(
     workers: Optional[int] = None,
     validate: bool = True,
     engine: Optional[str] = None,
+    pool: Optional[str] = None,
 ) -> BenchRun:
     """Execute ``scenarios`` and collect one record per benchmark cell.
 
@@ -165,8 +188,7 @@ def run_scenarios(
     warmup:
         Untimed rounds discarded before the ``repeat`` timed ones.
     workers:
-        Worker processes for :func:`repro.solvers.solve_many` (``None`` =
-        serial).
+        Worker processes for the solver batches (``None`` = serial).
     validate:
         Replay-validate every report (see :mod:`repro.bench.replay`).
         Validation failures are recorded on the :class:`BenchRecord` rather
@@ -176,6 +198,14 @@ def run_scenarios(
         array-backed hot paths, the solvers' default) or ``"reference"``
         (the original per-node implementations).  ``None`` leaves the
         solvers on their default.
+    pool:
+        Executor mode.  ``None`` or ``"persistent"`` run the campaign plan
+        on the persistent shared-memory engine: one plan per scenario,
+        budget sweeps parallelized, workers and resident trees reused
+        across rounds.  ``"fresh"`` keeps the legacy structure -- one
+        ``solve_many`` call (and one one-shot process pool) per round, plus
+        serial size-1 batches per budget step; ``"serial"`` does the same
+        fully in-process.  All modes produce bit-identical reports.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -183,10 +213,14 @@ def run_scenarios(
         raise ValueError("warmup must be >= 0")
     if engine not in (None, "kernel", "reference"):
         raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
+    if pool not in (None, *POOL_MODES):
+        raise ValueError(f"unknown pool mode {pool!r}; expected one of {POOL_MODES}")
+    start = perf_counter()
     records: List[BenchRecord] = []
     for scenario in scenarios:
+        runner = _run_scenario_legacy if pool in ("fresh", "serial") else _run_scenario
         records.extend(
-            _run_scenario(
+            runner(
                 scenario,
                 seed=seed,
                 repeat=repeat,
@@ -194,6 +228,7 @@ def run_scenarios(
                 workers=workers,
                 validate=validate,
                 engine=engine,
+                pool=pool,
             )
         )
     return BenchRun(
@@ -203,7 +238,24 @@ def run_scenarios(
         warmup=warmup,
         workers=workers,
         scenarios=tuple(s.name for s in scenarios),
+        pool=pool,
+        campaign_seconds=perf_counter() - start,
     )
+
+
+#: one planned solver invocation: (tree, algorithm, memory, options)
+_Cell = Tuple[Any, str, Optional[float], Dict[str, Any]]
+
+
+def _solve_cells(cells: List[_Cell], workers: Optional[int]) -> List[SolveReport]:
+    """Fan a cell list through the persistent engine (serial fallback)."""
+    if workers is not None and workers > 1 and len(cells) > 1:
+        from ..solvers.engine import get_engine
+
+        flat = get_engine().run_batch(cells, workers)
+        if flat is not None:
+            return flat
+    return [_solve_task(cell) for cell in cells]
 
 
 def _run_scenario(
@@ -215,10 +267,159 @@ def _run_scenario(
     workers: Optional[int],
     validate: bool,
     engine: Optional[str] = None,
+    pool: Optional[str] = None,
 ) -> List[BenchRecord]:
+    """Campaign-planned execution: the scenario grid as engine fan-outs.
+
+    Stage 1 expands the plain (unbudgeted) algorithms over every instance
+    and round into batches.  Stage 2 -- which needs the stage-1 reference
+    peaks to place the memory budgets -- expands every budgeted (instance,
+    algorithm, budget, round) cell into a second pair of batches, so the
+    budget sweeps the legacy path ran as serial size-1 calls execute in
+    parallel.  Each stage fans out its warmup cells first and waits for
+    them before the timed cells, preserving the documented warmup
+    semantics (timed rounds never contend with, or run ahead of, warmup
+    work).  Cells are ordered tree-major within each round, keeping arena
+    chunks single-tree.
+    """
+    del pool  # this is the persistent-mode path; the engine is implicit
     instances = scenario.build(seed)
     trees = [tree for _, tree in instances]
     engine_options = {} if engine is None else {"engine": engine}
+    plain = [a for a in scenario.algorithms if not _is_budgeted(a)]
+    budgeted = [a for a in scenario.algorithms if _is_budgeted(a)]
+    # the reference solver anchors optimality ratios and budget sweeps; run
+    # it even when the scenario did not list it explicitly
+    reference_in_run = REFERENCE_ALGORITHM in plain
+    if not reference_in_run:
+        plain = plain + [REFERENCE_ALGORITHM]
+    n_trees, n_plain = len(trees), len(plain)
+
+    # ---- stage 1: the plain grid ----------------------------------------
+    # the options dict is shared across cells: solvers copy before use, and
+    # the pickle memo ships it once per executor chunk
+    def _plain_cells(n_rounds: int) -> List[_Cell]:
+        return [
+            (trees[i], name, None, engine_options)
+            for _ in range(n_rounds)
+            for i in range(n_trees)
+            for name in plain
+        ]
+
+    _solve_cells(_plain_cells(warmup), workers)  # discarded (barrier below)
+    flat1 = _solve_cells(_plain_cells(repeat), workers)
+    timings: Dict[Tuple[int, str], List[float]] = {}
+    for r in range(repeat):
+        base = r * n_trees * n_plain
+        for i in range(n_trees):
+            for j, name in enumerate(plain):
+                timings.setdefault((i, name), []).append(
+                    flat1[base + i * n_plain + j].wall_time
+                )
+    last = (repeat - 1) * n_trees * n_plain
+    batches = [
+        {
+            name: flat1[last + i * n_plain + j]
+            for j, name in enumerate(plain)
+        }
+        for i in range(n_trees)
+    ]
+
+    # ---- stage 2: every budgeted cell across all instances --------------
+    budgets_of: Dict[int, List[Tuple[float, float]]] = {}
+    budget_option_of: Dict[int, Dict[str, Any]] = {}
+    for i, tree in enumerate(trees):
+        reference = batches[i][REFERENCE_ALGORITHM]
+        budgets_of[i] = _budgets_for(
+            tree, reference.peak_memory, scenario.budget_fractions
+        )
+        # hand the minio family the reference traversal and its peak so the
+        # timed rounds measure the scheduler alone, not a hidden re-run of
+        # the in-core base solver; explore ignores both (lenient dispatch)
+        budget_option_of[i] = {
+            "traversal": reference.traversal,
+            "in_core_peak": reference.peak_memory,
+            **engine_options,
+        }
+
+    def _budget_cells(n_rounds: int):
+        cells: List[_Cell] = []
+        meta: List[Tuple[int, str]] = []  # (instance, algorithm@budget)
+        for i, tree in enumerate(trees):
+            for name in budgeted:
+                for b, (_, memory) in enumerate(budgets_of[i]):
+                    for _ in range(n_rounds):
+                        cells.append((tree, name, memory, budget_option_of[i]))
+                        meta.append((i, f"{name}@{b}"))
+        return cells, meta
+
+    warm_cells, _ = _budget_cells(warmup)
+    _solve_cells(warm_cells, workers)  # discarded (barrier below)
+    timed_cells, meta = _budget_cells(repeat)
+    flat2 = _solve_cells(timed_cells, workers)
+    budget_reports: Dict[Tuple[int, str], SolveReport] = {}
+    budget_times: Dict[Tuple[int, str], List[float]] = {}
+    for (i, cell_key), report in zip(meta, flat2):
+        budget_times.setdefault((i, cell_key), []).append(report.wall_time)
+        budget_reports[(i, cell_key)] = report  # rounds are bit-identical
+
+    # ---- records, in the same order as the legacy path ------------------
+    records: List[BenchRecord] = []
+    for i, (instance_name, tree) in enumerate(instances):
+        reference_peak = batches[i][REFERENCE_ALGORITHM].peak_memory
+        for name in plain:
+            if name == REFERENCE_ALGORITHM and not reference_in_run:
+                continue
+            records.append(
+                _make_record(
+                    scenario,
+                    instance_name,
+                    tree,
+                    batches[i][name],
+                    timings[(i, name)],
+                    reference_peak=reference_peak,
+                    validate=validate,
+                )
+            )
+        for name in budgeted:
+            for b, (fraction, memory) in enumerate(budgets_of[i]):
+                cell_key = f"{name}@{b}"
+                records.append(
+                    _make_record(
+                        scenario,
+                        instance_name,
+                        tree,
+                        budget_reports[(i, cell_key)],
+                        budget_times[(i, cell_key)],
+                        reference_peak=reference_peak,
+                        validate=validate,
+                        memory_limit=memory,
+                        budget_fraction=fraction,
+                    )
+                )
+    return records
+
+
+def _run_scenario_legacy(
+    scenario: Scenario,
+    *,
+    seed: int,
+    repeat: int,
+    warmup: int,
+    workers: Optional[int],
+    validate: bool,
+    engine: Optional[str] = None,
+    pool: Optional[str] = None,
+) -> List[BenchRecord]:
+    """Legacy loop structure: one ``solve_many`` call per round and per
+    budget step.  Kept as the ``pool="fresh"`` / ``pool="serial"`` path --
+    both as a migration escape hatch and as the measured baseline the
+    persistent engine is compared against."""
+    instances = scenario.build(seed)
+    trees = [tree for _, tree in instances]
+    pool_options = {} if pool is None else {"pool": pool}
+    engine_options = {} if engine is None else {"engine": engine}
+    engine_options.update(pool_options)
     plain = [a for a in scenario.algorithms if not _is_budgeted(a)]
     budgeted = [a for a in scenario.algorithms if _is_budgeted(a)]
     # the reference solver anchors optimality ratios and budget sweeps; run

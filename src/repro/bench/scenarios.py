@@ -23,6 +23,9 @@ scenario           family      trees
                                rows through the vectorized symbolic pipeline
 ``large``          large       kernel-scale synthetic instances (100k chain,
                                88k harpoon, deep random)
+``service``        service     request-traffic simulation: hundreds of small
+                               heterogeneous trees x all in-core algorithms
+``service_burst``  service     the same traffic at full scale (2000 trees)
 =================  ==========  ===================================================
 
 Every builder takes the run ``seed`` and threads it into the random-tree
@@ -55,13 +58,22 @@ from ..generators.synthetic import (
 )
 from .scenario import register_scenario
 
-__all__ = ["MINMEMORY_ALGORITHMS", "BUDGETED_ALGORITHMS"]
+__all__ = ["MINMEMORY_ALGORITHMS", "BUDGETED_ALGORITHMS", "IN_CORE_ALGORITHMS"]
 
 #: the three MinMemory solvers compared throughout the paper
 MINMEMORY_ALGORITHMS = ("postorder", "liu", "minmem")
 
 #: budgeted solvers added on families where out-of-core behaviour matters
 BUDGETED_ALGORITHMS = ("explore", "minio_first_fit", "minio_lsnf")
+
+#: every registered in-core (unbudgeted) solver -- the service traffic mix
+IN_CORE_ALGORITHMS = (
+    "postorder",
+    "postorder_natural",
+    "postorder_subtree_memory",
+    "liu",
+    "minmem",
+)
 
 
 # ----------------------------------------------------------------------
@@ -235,6 +247,111 @@ def _sparse_pipeline(seed: int) -> List[Tuple[str, Tree]]:
         (name, build_assembly_tree(matrix, ordering=ordering, relaxed=relaxed).tree)
         for name, matrix, ordering, relaxed in specs
     ]
+
+
+# ----------------------------------------------------------------------
+# service: simulated request traffic (the batch engine's target workload)
+# ----------------------------------------------------------------------
+def _service_traffic(seed: int, count: int) -> List[Tuple[str, Tree]]:
+    """``count`` small heterogeneous trees, 50-500 nodes each.
+
+    The mix cycles through the library's families -- random attachment,
+    deep (recent-attachment) random, caterpillars, deterministic synthetic
+    shapes and small harpoons -- so a batch looks like production request
+    traffic: many independent solves on trees of wildly different shapes,
+    none of them individually expensive.  Seeded: the same seed rebuilds
+    the identical stream.
+    """
+    import random as _random
+
+    rng = _random.Random(seed * 1_000_003 + 0x5EB1CE)
+    instances: List[Tuple[str, Tree]] = []
+    for i in range(count):
+        size = 50 + rng.randrange(451)  # 50 .. 500 nodes
+        kind = i % 5
+        if kind == 0:
+            tree = random_attachment_tree(size, seed=rng.randrange(2**31))
+            label = "attach"
+        elif kind == 1:
+            tree = random_recent_attachment_tree(
+                size, seed=rng.randrange(2**31), window=6
+            )
+            label = "deep"
+        elif kind == 2:
+            # the argument is the spine length; leaves (0-4 per spine node)
+            # roughly triple it, so aim the spine at a third of the target
+            tree = random_caterpillar(
+                max(17, size // 3), seed=rng.randrange(2**31), max_leaves=4
+            )
+            label = "caterpillar"
+        elif kind == 3:
+            # deterministic synthetic shapes, parameterised by the draw
+            shape = i % 3
+            if shape == 0:
+                tree = broom_tree(size - 7, 7, f=3.0, n=1.0)
+                label = "broom"
+            elif shape == 1:
+                tree = bamboo_with_bushes(
+                    max(2, size // 5), 4, f_spine=2.0, f_bush=5.0, n=1.0
+                )
+                label = "bamboo"
+            else:
+                tree = chain_tree(size, f=2.0, n=1.0)
+                label = "chain"
+        else:
+            # harpoon_tree(b) has 3b + 1 nodes; iterated level-3 harpoons
+            # (118 nodes) season the mix with the postorder worst cases
+            if i % 2:
+                tree = harpoon_tree(
+                    17 + rng.randrange(150), memory=64.0, epsilon=0.25
+                )
+                label = "harpoon"
+            else:
+                tree = iterated_harpoon_tree(
+                    3, levels=3, memory=float(8 + i % 5), epsilon=0.25
+                )
+                label = "iterharpoon"
+        instances.append((f"req-{i:04d}-{label}-{tree.size}", tree))
+    return instances
+
+
+@register_scenario(
+    "service",
+    family="service",
+    algorithms=IN_CORE_ALGORITHMS,
+    summary="request-traffic simulation: 320 small heterogeneous trees "
+            "x all in-core algorithms",
+    tags=("seeded", "traffic", "batch"),
+    smoke=True,
+)
+def _service(seed: int) -> List[Tuple[str, Tree]]:
+    """Simulated request traffic at smoke scale (320 trees, 1600 cells).
+
+    This is the workload the persistent batch engine is built for: many
+    small independent solves where per-payload pickling and pool startup
+    dominate the old per-call pool.  The full-scale variant is
+    ``service_burst``.
+    """
+    return _service_traffic(seed, 320)
+
+
+@register_scenario(
+    "service_burst",
+    family="service",
+    algorithms=IN_CORE_ALGORITHMS,
+    summary="request-traffic simulation at full scale: 2000 small "
+            "heterogeneous trees x all in-core algorithms",
+    tags=("seeded", "traffic", "batch", "scale"),
+    smoke=False,
+)
+def _service_burst(seed: int) -> List[Tuple[str, Tree]]:
+    """Thousands of small heterogeneous trees (the full traffic burst).
+
+    Excluded from the smoke set for artifact-size reasons (10 000 records);
+    run it explicitly with ``repro bench --filter service_burst --workers N``
+    to exercise the engine at scale.
+    """
+    return _service_traffic(seed, 2000)
 
 
 @register_scenario(

@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "per-node implementations")
     p_solve.add_argument("--workers", type=int, default=None,
                          help="worker processes for multi-tree batches (default: serial)")
+    p_solve.add_argument("--pool", choices=("persistent", "fresh", "serial"),
+                         default=None,
+                         help="parallel executor: 'persistent' = shared-memory "
+                              "engine reused across batches (default), 'fresh' = "
+                              "one-shot pool per call, 'serial' = in-process")
     p_solve.add_argument("--json", action="store_true",
                          help="emit the full SolveReport(s) as JSON")
     p_solve.add_argument("--list", action="store_true", dest="list_algorithms",
@@ -163,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="untimed warmup rounds before timing (default: 0)")
     p_bench.add_argument("--workers", type=int, default=None,
                          help="worker processes for the solver batches (default: serial)")
+    p_bench.add_argument("--pool", choices=("persistent", "fresh", "serial"),
+                         default=None,
+                         help="executor for the campaign: 'persistent' = batched "
+                              "plans on the shared-memory engine (default), "
+                              "'fresh' = legacy per-call pools, 'serial' = legacy "
+                              "loops in-process")
     p_bench.add_argument("--json", action="store_true",
                          help="persist a schema-versioned BENCH_<timestamp>.json artifact")
     p_bench.add_argument("--output", type=Path, default=None, metavar="PATH",
@@ -233,6 +244,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if len(trees) == 1:
         reports = [solve(trees[0], args.algorithm, memory=args.memory, **options)]
     else:
+        if args.pool is not None:
+            options["pool"] = args.pool
         batch = solve_many(
             trees, args.algorithm, memory=args.memory, workers=args.workers, **options
         )
@@ -426,8 +439,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         validate=not args.no_validate,
         engine=args.engine,
+        pool=args.pool,
     )
     print(run.format_table())
+    print(f"\ncampaign wall time: {run.campaign_seconds:.3f}s"
+          + (f" (workers={run.workers}, pool={run.pool or 'persistent'})"
+             if run.workers else ""))
     if args.json or args.output is not None:
         path = bench.write_artifact(run, args.output)
         print(f"\nwrote {len(run.records)} records to {path}")

@@ -134,6 +134,10 @@ class TreeKernel:
         "n",
         "mem_req",
         "child_f_sum",
+        # weak-referenceable so the engine arena (repro.solvers.engine) can
+        # key its shared-memory exports by kernel and release the segment
+        # when the kernel is garbage collected
+        "__weakref__",
     )
 
     def __init__(
@@ -248,6 +252,107 @@ class TreeKernel:
         from .tree import Tree
 
         return Tree.from_parents(self.parent, self.f, self.n, ids=self.ids)
+
+    # ------------------------------------------------------------------
+    # flat-buffer export / attach (the engine arena's transport format)
+    # ------------------------------------------------------------------
+    def has_trivial_ids(self) -> bool:
+        """True when the original identifiers are exactly ``0 .. p-1``.
+
+        Kernels built by the bulk generators and the sparse pipeline carry
+        trivial ids; exporters can then skip shipping the id list entirely.
+        """
+        ids = self.ids
+        return ids[0] == 0 and ids[-1] == self.size - 1 and ids == list(range(self.size))
+
+    def to_flat_arrays(self):
+        """Export the defining arrays as three contiguous numpy arrays.
+
+        Returns
+        -------
+        (parent, f, n) : numpy arrays
+            ``int64`` parent indices and ``float64`` weights.  Together with
+            :attr:`ids` these reproduce the kernel exactly via
+            :meth:`from_flat_arrays`; the derived arrays (children CSR,
+            ``mem_req``, ``child_f_sum``) are recomputed on attach, so the
+            export is three buffers instead of ten.
+        """
+        import numpy as np
+
+        return (
+            np.asarray(self.parent, dtype=np.int64),
+            np.asarray(self.f, dtype=np.float64),
+            np.asarray(self.n, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_flat_arrays(cls, parent, f, n, *, ids=None) -> "TreeKernel":
+        """Rebuild a kernel from :meth:`to_flat_arrays` output.
+
+        A vectorized counterpart of ``__init__``: the topological check, the
+        children CSR and the derived weight arrays are all computed with
+        numpy primitives instead of per-node Python loops, so attaching a
+        shipped kernel in a worker process costs a handful of array passes.
+        The result is bit-identical to the ``__init__`` path -- in particular
+        ``child_f_sum`` accumulates in the same index order (``np.bincount``
+        sums its input sequentially) and children keep insertion order
+        (stable argsort).
+
+        Raises
+        ------
+        ValueError
+            Same contract as the constructor: mismatched lengths, an empty
+            tree, a non-root first node, or a parent array that breaks the
+            topological labeling.
+        """
+        import numpy as np
+
+        parent = np.ascontiguousarray(parent, dtype=np.int64)
+        f = np.ascontiguousarray(f, dtype=np.float64)
+        n = np.ascontiguousarray(n, dtype=np.float64)
+        p = int(parent.shape[0])
+        if f.shape[0] != p or n.shape[0] != p:
+            raise ValueError("parent, f and n must have the same length")
+        if p == 0:
+            raise ValueError("cannot build a kernel for an empty tree")
+        if parent[0] != -1:
+            raise ValueError("node 0 must be the root (parent[0] == -1)")
+        tail = parent[1:]
+        if p > 1:
+            bad = (tail < 0) | (tail >= np.arange(1, p, dtype=np.int64))
+            if bad.any():
+                i = int(np.argmax(bad)) + 1
+                raise ValueError(
+                    f"parent[{i}] = {int(parent[i])} breaks the topological labeling"
+                )
+
+        kern = object.__new__(cls)
+        kern.size = p
+        kern.parent = parent.tolist()
+        kern.f = f.tolist()
+        kern.n = n.tolist()
+        if ids is None:
+            kern.ids = list(range(p))
+            kern.index = {i: i for i in range(p)}
+        else:
+            if len(ids) != p:
+                raise ValueError("ids must have the same length as parent")
+            kern.ids = list(ids)
+            kern.index = {v: i for i, v in enumerate(kern.ids)}
+            if len(kern.index) != p:
+                raise ValueError("ids contains duplicates")
+
+        counts = np.bincount(tail, minlength=p)
+        ptr = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        kern.child_ptr = ptr.tolist()
+        # stable sort groups children by parent while preserving their
+        # relative (insertion) order -- the same CSR __init__ builds
+        kern.child_idx = (np.argsort(tail, kind="stable") + 1).tolist()
+        cfs = np.bincount(tail, weights=f[1:], minlength=p)
+        kern.child_f_sum = cfs.tolist()
+        kern.mem_req = (f + n + cfs).tolist()
+        return kern
 
     # ------------------------------------------------------------------
     # queries

@@ -35,6 +35,7 @@ The six policies:
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left
 from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 __all__ = [
@@ -78,16 +79,46 @@ def select_first_fit(candidates: Sequence[Candidate], io_req: float) -> List[Nod
 
 
 def select_best_fit(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
-    """Repeatedly evict the file whose size is closest to the remaining need."""
-    remaining = list(candidates)
+    """Repeatedly evict the file whose size is closest to the remaining need.
+
+    Sorted-structure implementation: candidates live in one list sorted by
+    ``(size, position)``, so the file nearest the remaining requirement is a
+    :func:`bisect.bisect_left` away -- the closest size is either the
+    largest one below the need or the smallest one at/above it, and within
+    an equal-size run the leftmost entry has the earliest candidate
+    position, which is exactly the tie-break of the original linear-scan
+    version (closest size first, then earliest candidate).  One O(n log n)
+    sort plus O(log n) per eviction replaces the O(n) ``min`` scan and
+    ``list.pop`` per victim; victim order is identical.
+    """
     victims: List[NodeId] = []
     need = io_req
-    while need > _EPS and remaining:
-        best_idx = min(
-            range(len(remaining)), key=lambda k: (abs(remaining[k][1] - need), k)
-        )
-        node, size = remaining.pop(best_idx)
-        victims.append(node)
+    if need <= _EPS or not candidates:
+        return victims
+    entries = sorted((size, pos) for pos, (_, size) in enumerate(candidates))
+    while need > _EPS and entries:
+        k = bisect_left(entries, (need, -1))  # first entry with size >= need
+        if k == len(entries):
+            chosen = entries[-1][0]  # every size < need: largest is closest
+        elif k == 0:
+            chosen = entries[0][0]  # every size >= need: smallest is closest
+        else:
+            s_below, s_above = entries[k - 1][0], entries[k][0]
+            if need - s_below < s_above - need:
+                chosen = s_below
+            elif s_above - need < need - s_below:
+                chosen = s_above
+            else:
+                # equidistant sizes: the original picks the earliest
+                # candidate position across both equal-size runs; each
+                # run's leftmost entry carries its smallest position
+                lo_below = bisect_left(entries, (s_below, -1))
+                chosen = (
+                    s_below if entries[lo_below][1] < entries[k][1] else s_above
+                )
+        start = bisect_left(entries, (chosen, -1))  # leftmost of the run
+        size, pos = entries.pop(start)
+        victims.append(candidates[pos][0])
         need -= size
     return victims
 
@@ -113,20 +144,41 @@ def select_first_fill(candidates: Sequence[Candidate], io_req: float) -> List[No
 
 def select_best_fill(candidates: Sequence[Candidate], io_req: float) -> List[NodeId]:
     """Repeatedly evict the largest file strictly smaller than the remaining
-    need (the one that "fills" it best); fall back to LSNF."""
-    remaining = list(candidates)
+    need (the one that "fills" it best); fall back to LSNF.
+
+    Sorted-structure implementation, mirroring :func:`select_best_fit`: the
+    best filler is the entry just left of ``bisect_left(need - eps)``, and
+    the leftmost entry of its equal-size run carries the earliest candidate
+    position (the original's tie-break).  The LSNF fallback must see the
+    *surviving* candidates in their original order, so evictions also flip
+    an alive flag indexed by position.  Victim order is identical to the
+    original quadratic version.
+    """
     victims: List[NodeId] = []
     need = io_req
-    while need > _EPS and remaining:
-        eligible = [
-            (k, size) for k, (_, size) in enumerate(remaining) if size < need - _EPS
-        ]
-        if not eligible:
-            victims.extend(select_lsnf(remaining, need))
+    if need <= _EPS or not candidates:
+        return victims
+    entries = sorted((size, pos) for pos, (_, size) in enumerate(candidates))
+    alive = [True] * len(candidates)
+    while need > _EPS and entries:
+        k = bisect_left(entries, (need - _EPS, -1))  # entries[:k]: size < need-eps
+        if k == 0:
+            # nothing strictly smaller than the need: LSNF over the
+            # survivors, in original candidate order
+            freed = 0.0
+            for pos, (node, size) in enumerate(candidates):
+                if not alive[pos]:
+                    continue
+                if freed >= need - _EPS:
+                    break
+                victims.append(node)
+                freed += size
             return victims
-        best_idx = min(eligible, key=lambda item: (need - item[1], item[0]))[0]
-        node, size = remaining.pop(best_idx)
-        victims.append(node)
+        chosen = entries[k - 1][0]  # the largest eligible size
+        start = bisect_left(entries, (chosen, -1))  # leftmost of its run
+        size, pos = entries.pop(start)
+        alive[pos] = False
+        victims.append(candidates[pos][0])
         need -= size
     return victims
 

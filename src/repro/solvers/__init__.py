@@ -28,8 +28,14 @@ from .report import SolveReport, report_from_dict, report_to_dict
 # importing the adapters populates the registry with the built-in solvers;
 # it must happen before the facade is usable
 from .adapters import DEFAULT_ALGORITHM, MINMEMORY_SOLVERS  # noqa: E402
+from .engine import (  # noqa: E402
+    SolveEngine,
+    get_engine,
+    shutdown_engine,
+)
 from .facade import (  # noqa: E402
     DEFAULT_COMPARE_ALGORITHMS,
+    POOL_MODES,
     Comparison,
     compare,
     solve,
@@ -54,4 +60,8 @@ __all__ = [
     "DEFAULT_ALGORITHM",
     "DEFAULT_COMPARE_ALGORITHMS",
     "MINMEMORY_SOLVERS",
+    "POOL_MODES",
+    "SolveEngine",
+    "get_engine",
+    "shutdown_engine",
 ]

@@ -1,0 +1,32 @@
+"""Persistent shared-memory batch engine for ``solve_many`` and the bench runner.
+
+The engine is the batch layer's hot path: a :class:`~.pool.PersistentPool`
+of worker processes reused across calls, a :class:`~.arena.TreeArena` that
+ships each tree's flat kernel arrays to the workers exactly once (zero-copy
+``multiprocessing.shared_memory`` segments where available, pickle-once
+blobs otherwise), and a :class:`~.dispatch.SolveEngine` that fans compact
+``(token, algorithm, memory, options)`` payloads over the pool with a
+computed chunk size.
+
+``solve_many(..., pool="persistent")`` (the default for parallel batches)
+routes through the process-wide engine from :func:`get_engine`;
+``pool="fresh"`` keeps the legacy one-pool-per-call behaviour and
+``pool="serial"`` forces in-process execution.  :func:`shutdown_engine`
+releases the workers and the shared segments explicitly (also registered
+``atexit``).
+"""
+
+from .arena import TreeArena, TreeRef, resolve, worker_cache_info
+from .dispatch import SolveEngine, get_engine, shutdown_engine
+from .pool import PersistentPool
+
+__all__ = [
+    "TreeArena",
+    "TreeRef",
+    "PersistentPool",
+    "SolveEngine",
+    "get_engine",
+    "shutdown_engine",
+    "resolve",
+    "worker_cache_info",
+]

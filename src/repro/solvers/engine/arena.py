@@ -1,0 +1,283 @@
+"""Shared tree arena: ship each kernel to worker processes exactly once.
+
+The old ``solve_many`` pool path pickled the full :class:`Tree` into every
+``(tree, algorithm)`` payload, so a batch of ``t`` trees times ``a``
+algorithms serialized each tree ``a`` times per round -- and the workers
+rebuilt the kernel from the dict-based tree just as often.  The arena turns
+the tree into a *resident* of the worker processes:
+
+* on the parent side, :meth:`TreeArena.export` flattens the kernel once
+  (:meth:`~repro.core.kernel.TreeKernel.to_flat_arrays`) and publishes it --
+  through a ``multiprocessing.shared_memory`` segment where the platform
+  supports it, or as a pickle-once ``bytes`` blob otherwise -- returning a
+  compact picklable :class:`TreeRef` token;
+* on the worker side, :func:`resolve` attaches the buffers (zero-copy reads
+  out of the segment) and rebuilds the kernel with the vectorized
+  :meth:`~repro.core.kernel.TreeKernel.from_flat_arrays`, caching it by
+  token so every later payload referencing the same tree is a dict lookup.
+
+Exports are keyed by kernel identity (a ``WeakValueDictionary``), so
+repeated ``solve_many`` calls on the same tree reuse the same segment, and
+a garbage-collected tree releases its segment automatically
+(``weakref.finalize``).  :meth:`TreeArena.close` releases everything
+eagerly; the engine calls it from ``shutdown()`` and at interpreter exit.
+
+Segment layout (one segment per tree)::
+
+    [ parent int64[p] | f float64[p] | n float64[p] | ids pickle blob ]
+
+The ids blob is empty for the common case of trivial ``0..p-1`` identifiers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ...core.kernel import TreeKernel
+
+__all__ = ["TreeRef", "TreeArena", "resolve", "worker_cache_info"]
+
+#: transport kinds a :class:`TreeRef` can carry
+_KIND_SHM = "shm"
+_KIND_BLOB = "blob"
+
+#: worker-side kernels kept resident per process (FIFO eviction beyond this).
+#: Sized to hold a whole ``service``-scale round (320 distinct trees) so
+#: cross-round reuse actually happens on the engine's flagship workload;
+#: payload batches are tree-major, so even token streams beyond the cap
+#: (``service_burst``) attach each tree at most once per round per worker.
+#: The cap bounds entry count, not bytes: campaigns with many *large*
+#: distinct trees are rare (the large families sweep a handful of trees).
+WORKER_CACHE_SIZE = 1024
+
+_token_counter = itertools.count(1)
+
+
+def _new_token() -> str:
+    # pid-qualified so tokens from a recreated arena (or a forked parent)
+    # can never collide with kernels already resident in a worker
+    return f"{os.getpid()}-{next(_token_counter)}"
+
+
+@dataclass(frozen=True)
+class TreeRef:
+    """Compact picklable handle to a tree resident in the arena.
+
+    ``kind`` selects the transport: ``"shm"`` carries the segment name and
+    the array length (a few dozen bytes per payload), ``"blob"`` carries the
+    pickled flat arrays themselves.  Blob refs inside one executor chunk are
+    serialized once thanks to the pickle memo, and workers deserialize each
+    token at most once, so even the fallback ships every tree roughly once
+    per (worker, chunk) rather than once per payload.
+    """
+
+    token: str
+    kind: str
+    shm_name: Optional[str] = None
+    size: int = 0
+    ids_bytes: int = 0
+    blob: Optional[bytes] = field(default=None, repr=False)
+
+
+class TreeArena:
+    """Parent-side registry of exported kernels.
+
+    Parameters
+    ----------
+    use_shared_memory : bool, optional
+        Force (``True``) or forbid (``False``) the shared-memory transport;
+        ``None`` probes the platform on first export and falls back to
+        pickle blobs when segments cannot be created (sandboxes without a
+        usable ``/dev/shm``, missing ``_posixshmem``, ...).
+    """
+
+    def __init__(self, use_shared_memory: Optional[bool] = None) -> None:
+        self._use_shm = use_shared_memory
+        self._refs: "weakref.WeakValueDictionary[str, TreeKernel]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._by_kernel: Dict[int, TreeRef] = {}
+        self._segments: Dict[str, object] = {}  # token -> SharedMemory
+        self._finalizers: Dict[str, weakref.finalize] = {}
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    def _fork_guard(self) -> None:
+        # a forked child inherits the registries but must not unlink the
+        # parent's segments: drop the bookkeeping without touching the OS
+        if os.getpid() != self._pid:
+            for fin in self._finalizers.values():
+                fin.detach()
+            self._refs = weakref.WeakValueDictionary()
+            self._by_kernel = {}
+            self._segments = {}
+            self._finalizers = {}
+            self._pid = os.getpid()
+
+    def export(self, tree) -> TreeRef:
+        """Publish ``tree`` (a :class:`Tree` or kernel) and return its ref.
+
+        Idempotent per kernel object: the same (cached) kernel maps to the
+        same token across calls, which is what lets long-lived workers keep
+        the resident copy warm between ``solve_many`` calls.
+        """
+        self._fork_guard()
+        kernel = tree if isinstance(tree, TreeKernel) else tree.kernel()
+        ref = self._by_kernel.get(id(kernel))
+        # the id() key alone could alias a dead kernel's recycled address;
+        # the weak value map is the ground truth
+        if ref is not None and self._refs.get(ref.token) is kernel:
+            return ref
+        ref = self._export_kernel(kernel)
+        self._refs[ref.token] = kernel
+        self._by_kernel[id(kernel)] = ref
+        self._finalizers[ref.token] = weakref.finalize(
+            kernel, self._release, ref.token, id(kernel)
+        )
+        return ref
+
+    def _export_kernel(self, kernel: TreeKernel) -> TreeRef:
+        parent, f, n = kernel.to_flat_arrays()
+        ids_blob = b""
+        if not kernel.has_trivial_ids():
+            ids_blob = pickle.dumps(kernel.ids, protocol=pickle.HIGHEST_PROTOCOL)
+        token = _new_token()
+        if self._use_shm is not False:
+            segment = self._create_segment(parent, f, n, ids_blob)
+            if segment is not None:
+                self._segments[token] = segment
+                return TreeRef(
+                    token=token,
+                    kind=_KIND_SHM,
+                    shm_name=segment.name,
+                    size=kernel.size,
+                    ids_bytes=len(ids_blob),
+                )
+            if self._use_shm is True:
+                raise OSError("shared-memory transport requested but unavailable")
+            self._use_shm = False  # probe failed once; stop retrying
+        blob = pickle.dumps(
+            (parent, f, n, ids_blob), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        return TreeRef(token=token, kind=_KIND_BLOB, size=kernel.size, blob=blob)
+
+    def _create_segment(self, parent, f, n, ids_blob: bytes):
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:
+            return None
+        p = parent.shape[0]
+        nbytes = 24 * p + len(ids_blob)
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        except (OSError, ValueError):
+            return None
+        buf = segment.buf
+        buf[0 : 8 * p] = parent.tobytes()
+        buf[8 * p : 16 * p] = f.tobytes()
+        buf[16 * p : 24 * p] = n.tobytes()
+        if ids_blob:
+            # exact slice: platforms may round the segment up to a page
+            # multiple, so the buffer can be longer than requested
+            buf[24 * p : 24 * p + len(ids_blob)] = ids_blob
+        return segment
+
+    # ------------------------------------------------------------------
+    def _release(self, token: str, kernel_id: Optional[int] = None) -> None:
+        """Unlink one export (kernel collected, or arena shutting down)."""
+        if os.getpid() != self._pid:  # never unlink a parent's segment
+            return
+        if kernel_id is not None and self._by_kernel.get(kernel_id) is not None:
+            if self._by_kernel[kernel_id].token == token:
+                del self._by_kernel[kernel_id]
+        segment = self._segments.pop(token, None)
+        self._finalizers.pop(token, None)
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover - double free
+                pass
+
+    def close(self) -> None:
+        """Release every exported segment (idempotent)."""
+        self._fork_guard()
+        for token in list(self._segments):
+            fin = self._finalizers.get(token)
+            if fin is not None:
+                fin.detach()
+            self._release(token)
+        self._by_kernel.clear()
+        self._finalizers.clear()
+
+    @property
+    def live_segments(self) -> Tuple[str, ...]:
+        """Names of the shared-memory segments currently owned (testing)."""
+        return tuple(seg.name for seg in self._segments.values())
+
+    def __len__(self) -> int:
+        return len(self._segments) + sum(
+            1 for ref in self._by_kernel.values() if ref.kind == _KIND_BLOB
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_WORKER_KERNELS: Dict[str, TreeKernel] = {}
+
+
+def _attach_shm(ref: TreeRef) -> TreeKernel:
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=ref.shm_name)
+    try:
+        p = ref.size
+        buf = segment.buf
+        parent = np.frombuffer(buf, dtype=np.int64, count=p, offset=0)
+        f = np.frombuffer(buf, dtype=np.float64, count=p, offset=8 * p)
+        n = np.frombuffer(buf, dtype=np.float64, count=p, offset=16 * p)
+        ids = None
+        if ref.ids_bytes:
+            ids = pickle.loads(bytes(buf[24 * p : 24 * p + ref.ids_bytes]))
+        # from_flat_arrays copies into plain lists, so nothing below keeps
+        # pointing into the segment once the views are dropped
+        kernel = TreeKernel.from_flat_arrays(parent, f, n, ids=ids)
+        del parent, f, n, buf
+    finally:
+        segment.close()
+    return kernel
+
+
+def _attach_blob(ref: TreeRef) -> TreeKernel:
+    parent, f, n, ids_blob = pickle.loads(ref.blob)
+    ids = pickle.loads(ids_blob) if ids_blob else None
+    return TreeKernel.from_flat_arrays(parent, f, n, ids=ids)
+
+
+def resolve(ref: TreeRef) -> TreeKernel:
+    """The resident kernel for ``ref`` (attaching and caching on first use)."""
+    kernel = _WORKER_KERNELS.get(ref.token)
+    if kernel is not None:
+        return kernel
+    if ref.kind == _KIND_SHM:
+        kernel = _attach_shm(ref)
+    elif ref.kind == _KIND_BLOB:
+        kernel = _attach_blob(ref)
+    else:  # pragma: no cover - future transports
+        raise ValueError(f"unknown tree transport {ref.kind!r}")
+    while len(_WORKER_KERNELS) >= WORKER_CACHE_SIZE:
+        _WORKER_KERNELS.pop(next(iter(_WORKER_KERNELS)))
+    _WORKER_KERNELS[ref.token] = kernel
+    return kernel
+
+
+def worker_cache_info() -> Tuple[int, Tuple[str, ...]]:
+    """(size, tokens) of this process's resident-kernel cache (testing)."""
+    return len(_WORKER_KERNELS), tuple(_WORKER_KERNELS)

@@ -1,0 +1,184 @@
+"""Payload dispatch: compact cells fanned over the persistent pool.
+
+A *cell* is one solver invocation: ``(tree, algorithm, memory, options)``.
+:meth:`SolveEngine.run_batch` turns a list of cells into compact payloads --
+``(TreeRef, algorithm, memory, options)`` tuples whose tree part is a token
+into the shared arena -- and maps them over the persistent pool with a
+computed chunk size, so a 10 000-cell campaign costs hundreds of executor
+messages rather than 10 000, and no message carries a pickled tree.
+
+Results come back in cell order and are bit-identical to the serial path
+(``wall_time``, stamped inside the worker, is excluded from report
+equality).  Infrastructure failures -- a platform that cannot spawn
+subprocesses, a worker crash, unpicklable custom options -- degrade to
+``None`` (callers run the batch serially) with a :class:`RuntimeWarning`
+naming the cause; exceptions raised by the solvers themselves propagate
+unchanged, exactly like the legacy pool path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..report import SolveReport
+from .arena import TreeArena, TreeRef, resolve
+from .pool import PersistentPool
+
+__all__ = ["SolveEngine", "get_engine", "shutdown_engine"]
+
+#: payloads per executor message: large enough to amortize IPC, small enough
+#: to keep every worker busy (at least ~4 chunks per worker per batch)
+MAX_CHUNKSIZE = 64
+
+Cell = Tuple[Any, str, Optional[float], Dict[str, Any]]
+
+
+def _solve_payload(payload: Tuple[TreeRef, str, Optional[float], Dict[str, Any]]):
+    """Module-level worker entry point (importable under any start method).
+
+    Lenient dispatch, as in the serial batch path: one option set serves
+    algorithms with different signatures.
+    """
+    from ..facade import _dispatch
+
+    ref, algorithm, memory, options = payload
+    return _dispatch(resolve(ref), algorithm, memory, options, strict=False)
+
+
+def _compute_chunksize(n_payloads: int, workers: int) -> int:
+    return max(1, min(MAX_CHUNKSIZE, n_payloads // (workers * 4) or 1))
+
+
+class SolveEngine:
+    """Persistent pool + shared arena behind one ``run_batch`` call.
+
+    One engine instance (usually the process-wide default from
+    :func:`get_engine`) is shared by every ``solve_many`` call and bench
+    round; :meth:`shutdown` releases the workers and the shared-memory
+    segments explicitly, and is registered via ``atexit`` for the default
+    engine.
+    """
+
+    def __init__(self, *, use_shared_memory: Optional[bool] = None) -> None:
+        self.arena = TreeArena(use_shared_memory=use_shared_memory)
+        self.pool = PersistentPool()
+        self._lock = threading.Lock()
+        self._warned_unavailable = False
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, cells: Sequence[Cell], workers: int
+    ) -> Optional[List[SolveReport]]:
+        """Solve every cell on the pool; ``None`` means "run serially".
+
+        Cells sharing a tree should be adjacent (tree-major order): chunks
+        then reference a single arena token each, and blob-transport
+        fallbacks serialize the tree once per chunk (pickle memo) instead of
+        once per payload.
+
+        The requested worker count is clamped to the batch size and twice
+        the machine's core count: up to one extra worker per core hides the
+        queue latency at chunk boundaries (a lone worker sleeps while the
+        parent feeds and drains the pipes), while heavier oversubscription
+        only adds scheduler churn.
+        """
+        cores = os.cpu_count() or 1
+        workers = max(1, min(workers, len(cells), 2 * cores))
+        with self._lock:
+            executor = self.pool.ensure(workers)
+            if executor is None:
+                if not self._warned_unavailable:
+                    self._warned_unavailable = True
+                    warnings.warn(
+                        "solve engine: this platform cannot spawn worker "
+                        "processes; batches run serially (warned once per "
+                        "engine)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                return None
+            refs: Dict[int, TreeRef] = {}
+            payloads = []
+            for tree, algorithm, memory, options in cells:
+                ref = refs.get(id(tree))
+                if ref is None:
+                    ref = refs[id(tree)] = self.arena.export(tree)
+                payloads.append((ref, algorithm, memory, options))
+            chunksize = _compute_chunksize(len(payloads), self.pool.workers)
+        from concurrent.futures.process import BrokenProcessPool
+        from pickle import PicklingError
+
+        try:
+            try:
+                return list(
+                    executor.map(_solve_payload, payloads, chunksize=chunksize)
+                )
+            except RuntimeError:
+                # a concurrent caller may have grown the pool between our
+                # ensure() and map(): the drained old executor then rejects
+                # new futures ("cannot schedule new futures after shutdown").
+                # Retry once on the replacement; genuine solver RuntimeErrors
+                # re-raise because the pool is unchanged.
+                with self._lock:
+                    current = self.pool.executor
+                if current is None or current is executor:
+                    raise
+                return list(
+                    current.map(_solve_payload, payloads, chunksize=chunksize)
+                )
+        except BrokenProcessPool as exc:
+            warnings.warn(
+                f"solve engine: worker pool broke ({exc}); restarting the pool "
+                "and falling back to serial execution for this batch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with self._lock:
+                self.pool.reset()
+            return None
+        except PicklingError as exc:
+            warnings.warn(
+                f"solve engine: payload not picklable ({exc}); falling back to "
+                "serial execution for this batch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def shutdown(self) -> None:
+        """Terminate the workers and unlink every shared-memory segment."""
+        with self._lock:
+            self.pool.shutdown()
+            self.arena.close()
+
+
+# ----------------------------------------------------------------------
+# the process-wide default engine
+# ----------------------------------------------------------------------
+_default_engine: Optional[SolveEngine] = None
+_default_lock = threading.Lock()
+
+
+def get_engine() -> SolveEngine:
+    """The process-wide :class:`SolveEngine`, created on first use."""
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            import atexit
+
+            _default_engine = SolveEngine()
+            atexit.register(shutdown_engine)
+        return _default_engine
+
+
+def shutdown_engine() -> None:
+    """Shut down the default engine (idempotent; a new one builds on demand)."""
+    global _default_engine
+    with _default_lock:
+        engine = _default_engine
+        _default_engine = None
+    if engine is not None:
+        engine.shutdown()

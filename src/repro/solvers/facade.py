@@ -5,9 +5,12 @@ These three functions are the intended entry points of the library:
 * :func:`solve` runs one registered algorithm on one tree and returns a
   :class:`~repro.solvers.report.SolveReport`;
 * :func:`solve_many` batches ``trees x algorithms`` and, when ``workers > 1``,
-  fans the batch across a :class:`concurrent.futures.ProcessPoolExecutor`
-  (falling back to serial execution when subprocesses are unavailable, e.g.
-  in sandboxes); results are bit-identical to the serial path because every
+  fans the batch across worker processes -- by default the persistent
+  shared-memory engine of :mod:`repro.solvers.engine` (workers and resident
+  trees reused across calls), or a legacy one-shot
+  :class:`concurrent.futures.ProcessPoolExecutor` with ``pool="fresh"`` --
+  falling back to serial execution when subprocesses are unavailable, e.g.
+  in sandboxes; results are bit-identical to the serial path because every
   registered solver is deterministic;
 * :func:`compare` runs several algorithms on the same tree and returns them
   ranked (peak memory first, then I/O volume, then wall time).
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import inspect
 import os
+import warnings
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from time import perf_counter
@@ -26,10 +30,21 @@ from ..core.tree import Tree
 from .registry import SolverSpec, get_solver
 from .report import SolveReport
 
-__all__ = ["solve", "solve_many", "compare", "Comparison", "DEFAULT_COMPARE_ALGORITHMS"]
+__all__ = [
+    "solve",
+    "solve_many",
+    "compare",
+    "Comparison",
+    "DEFAULT_COMPARE_ALGORITHMS",
+    "POOL_MODES",
+]
 
 #: algorithms compared side by side when :func:`compare` is given none
 DEFAULT_COMPARE_ALGORITHMS = ("postorder", "liu", "minmem")
+
+#: executor modes for parallel batches: the persistent shared-memory engine
+#: (default), a one-shot pool per call (legacy), or forced serial execution
+POOL_MODES = ("persistent", "fresh", "serial")
 
 AlgorithmArg = Union[str, Sequence[str]]
 
@@ -201,12 +216,21 @@ def solve_many(
     workers : int, optional
         ``None``, ``0`` or ``1`` run serially in-process.  Larger values use
         a process pool of that many workers; if the platform cannot spawn
-        subprocesses the batch silently degrades to the serial path (the
+        subprocesses the batch degrades to the serial path with a
+        :class:`RuntimeWarning` (emitted once per engine for the missing
+        platform, per batch for pool crashes and unpicklable options; the
         results are identical either way, only slower).
     options
         Forwarded to every solver with lenient dispatch (options a solver
         does not declare are dropped for that solver, so one option set can
-        serve a mixed batch).
+        serve a mixed batch).  The reserved option ``pool`` selects the
+        parallel executor instead of reaching any solver:
+        ``pool="persistent"`` (the default) reuses the process-wide
+        :class:`~repro.solvers.engine.SolveEngine` -- workers stay alive
+        across calls and every tree's kernel is shipped to them exactly once
+        through the shared arena; ``pool="fresh"`` restores the legacy
+        one-shot pool per call; ``pool="serial"`` forces in-process
+        execution regardless of ``workers``.
 
     Returns
     -------
@@ -214,15 +238,27 @@ def solve_many(
         One dictionary per input tree (in input order) mapping the
         canonical algorithm name to its :class:`SolveReport`.
     """
+    pool = options.pop("pool", None)
+    if pool not in (None, *POOL_MODES):
+        raise ValueError(f"unknown pool mode {pool!r}; expected one of {POOL_MODES}")
     tree_list = list(trees)
     names = _normalize_algorithms(algorithms)
+    # one shared options dict: solvers never mutate it (_prepare_options
+    # copies), and the pickle memo then ships it once per executor chunk
+    shared_options = dict(options)
     payloads = [
-        (tree, name, memory, dict(options)) for tree in tree_list for name in names
+        (tree, name, memory, shared_options) for tree in tree_list for name in names
     ]
 
     flat: Optional[List[SolveReport]] = None
-    if workers is not None and workers > 1 and len(payloads) > 1:
-        flat = _run_pool(payloads, workers)
+    parallel = workers is not None and workers > 1 and len(payloads) > 1
+    if parallel and pool != "serial":
+        if pool == "fresh":
+            flat = _run_pool(payloads, workers)
+        else:
+            from .engine import get_engine
+
+            flat = get_engine().run_batch(payloads, workers)
     if flat is None:
         flat = [_solve_task(payload) for payload in payloads]
 
@@ -257,9 +293,17 @@ def _run_pool(
     try:
         with pool:
             return list(pool.map(_solve_task, payloads, chunksize=1))
-    except (BrokenProcessPool, PicklingError):
+    except (BrokenProcessPool, PicklingError) as exc:
         # dead workers or unpicklable custom options -> serial fallback;
-        # exceptions raised *by* a solver propagate through map() unchanged
+        # exceptions raised *by* a solver propagate through map() unchanged.
+        # The fallback is loud: a PicklingError usually means a caller bug
+        # (an unpicklable option), and silently running serially would hide it
+        warnings.warn(
+            f"solve_many: process pool failed ({type(exc).__name__}: {exc}); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return None
 
 

@@ -209,3 +209,95 @@ class TestRunner:
         table = run.format_table()
         for record in run.records:
             assert record.key in table
+
+
+class TestCampaignPlanner:
+    """The planned (persistent-engine) path vs the legacy loop structure."""
+
+    def _campaign(self):
+        return [
+            make_scenario(
+                name="planner-a",
+                algorithms=("postorder", "liu", "minmem", "minio_first_fit", "explore"),
+                budget_fractions=(0.25, 0.75),
+                builder=lambda seed: [
+                    ("rand-40", random_attachment_tree(40, seed=seed)),
+                    ("rand-55", random_attachment_tree(55, seed=seed + 1)),
+                    ("chain-30", chain_tree(30, f=2.0, n=1.0)),
+                ],
+            ),
+            make_scenario(name="planner-b"),
+        ]
+
+    @pytest.mark.parametrize("workers", (None, 2))
+    def test_pool_modes_bit_identical_records(self, workers):
+        from dataclasses import replace
+
+        runs = {
+            pool: run_scenarios(
+                self._campaign(), seed=3, repeat=2, warmup=1,
+                workers=workers, pool=pool,
+            )
+            for pool in ("serial", "fresh", "persistent")
+        }
+        stripped = {
+            pool: [replace(r, best_time=0.0, mean_time=0.0) for r in run.records]
+            for pool, run in runs.items()
+        }
+        assert stripped["serial"] == stripped["fresh"] == stripped["persistent"]
+        # record order (and therefore keys) is also identical
+        keys = [r.key for r in runs["serial"].records]
+        assert [r.key for r in runs["persistent"].records] == keys
+        for run in runs.values():
+            assert not run.replay_failures
+            assert run.campaign_seconds > 0.0
+        assert runs["persistent"].pool == "persistent"
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(ValueError, match="pool mode"):
+            run_scenarios([make_scenario()], pool="bogus")
+
+    def test_planned_timings_per_round(self):
+        run = run_scenarios([make_scenario()], seed=0, repeat=3, warmup=1)
+        for record in run.records:
+            assert record.repeats == 3
+            assert record.best_time > 0.0
+
+
+class TestServiceScenarios:
+    def test_service_metadata(self):
+        scenario = get_scenario("service")
+        assert scenario.smoke  # part of the CI bench-smoke gate
+        assert scenario.family == "service"
+        # the request-traffic mix runs every in-core algorithm
+        assert set(scenario.algorithms) == {
+            "postorder",
+            "postorder_natural",
+            "postorder_subtree_memory",
+            "liu",
+            "minmem",
+        }
+        burst = get_scenario("service_burst")
+        assert not burst.smoke  # 10k records: artifact-size, not CI, bound
+        assert burst.family == "service"
+        assert burst.algorithms == scenario.algorithms
+
+    def test_service_builder_traffic_shape(self):
+        scenario = get_scenario("service")
+        instances = scenario.build(7)
+        assert len(instances) == 320
+        sizes = [tree.size for _, tree in instances]
+        # small heterogeneous trees around the 50-500 band (caterpillar
+        # leaf counts are random, so allow a little slack at the edges)
+        assert min(sizes) >= 40
+        assert max(sizes) <= 550
+        labels = {name.split("-")[2] for name, _ in instances}
+        assert {"attach", "deep", "caterpillar", "harpoon", "chain"} <= labels
+        # deterministic in the seed, different across seeds
+        again = scenario.build(7)
+        assert [name for name, _ in again] == [name for name, _ in instances]
+        other = scenario.build(8)
+        assert [t.size for _, t in other] != sizes
+
+    def test_service_burst_is_thousands(self):
+        assert len(get_scenario("service_burst").build(0)) == 2000

@@ -287,3 +287,76 @@ class TestHundredThousandNodes:
         postorder = postorder_with_rule(big_harpoon).memory
         assert optimum == pytest.approx(optimal_memory_bound(2, 14, 1.0, 0.01))
         assert postorder == pytest.approx(postorder_memory_bound(2, 14, 1.0, 0.01))
+
+
+class TestFlatArrays:
+    """to_flat_arrays / from_flat_arrays: the engine arena's transport."""
+
+    def _trees(self):
+        from repro.core.builders import chain_tree, star_tree
+        from repro.generators.random_trees import random_attachment_tree
+
+        return [
+            chain_tree(1),
+            chain_tree(6, f=2.0, n=1.0),
+            star_tree(12, leaf_f=3.0, n=0.5),
+            random_attachment_tree(150, seed=17),
+        ]
+
+    def test_round_trip_is_bit_identical(self):
+        for tree in self._trees():
+            kern = tree.kernel()
+            parent, f, n = kern.to_flat_arrays()
+            ids = None if kern.has_trivial_ids() else kern.ids
+            clone = TreeKernel.from_flat_arrays(parent, f, n, ids=ids)
+            for attr in (
+                "size", "ids", "index", "parent", "child_ptr", "child_idx",
+                "f", "n", "mem_req", "child_f_sum",
+            ):
+                assert getattr(clone, attr) == getattr(kern, attr), attr
+            # plain python scalars, exactly like the __init__ path
+            assert all(type(x) is int for x in clone.parent)
+            assert all(type(x) is float for x in clone.mem_req)
+
+    def test_non_trivial_ids(self):
+        tree = Tree()
+        tree.add_node("r", f=1.0, n=0.5)
+        tree.add_node("a", parent="r", f=2.0, n=0.25)
+        tree.add_node(("b", 3), parent="r", f=3.0, n=0.75)
+        kern = tree.kernel()
+        assert not kern.has_trivial_ids()
+        parent, f, n = kern.to_flat_arrays()
+        clone = TreeKernel.from_flat_arrays(parent, f, n, ids=kern.ids)
+        assert clone.ids == kern.ids
+        assert clone.index == kern.index
+
+    def test_validation_errors(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="root"):
+            TreeKernel.from_flat_arrays(np.array([0]), np.ones(1), np.ones(1))
+        with pytest.raises(ValueError, match="topological"):
+            TreeKernel.from_flat_arrays(
+                np.array([-1, 2, 1]), np.zeros(3), np.zeros(3)
+            )
+        with pytest.raises(ValueError, match="same length"):
+            TreeKernel.from_flat_arrays(np.array([-1, 0]), np.zeros(1), np.zeros(2))
+        with pytest.raises(ValueError, match="empty"):
+            TreeKernel.from_flat_arrays(
+                np.array([], dtype=np.int64), np.array([]), np.array([])
+            )
+        with pytest.raises(ValueError, match="duplicates"):
+            TreeKernel.from_flat_arrays(
+                np.array([-1, 0]), np.zeros(2), np.zeros(2), ids=["x", "x"]
+            )
+
+    def test_solvers_agree_on_attached_kernel(self):
+        from repro.solvers import solve
+
+        tree = self._trees()[-1]
+        kern = tree.kernel()
+        parent, f, n = kern.to_flat_arrays()
+        ids = None if kern.has_trivial_ids() else kern.ids
+        clone = TreeKernel.from_flat_arrays(parent, f, n, ids=ids)
+        for algorithm in ("postorder", "liu", "minmem"):
+            assert solve(clone, algorithm) == solve(kern, algorithm)

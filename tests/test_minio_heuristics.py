@@ -128,3 +128,97 @@ class TestRegistry:
             for need in (0.5, 3.0, 8.0, 17.0):
                 victims = selector(CANDS, need)
                 assert total(victims) >= min(need, 17.0) - 1e-9, name
+
+
+# ----------------------------------------------------------------------
+# reference oracles: the original O(n^2) linear-scan implementations the
+# bisect/sorted-structure versions must reproduce victim by victim
+# ----------------------------------------------------------------------
+_EPS = 1e-12
+
+
+def _oracle_best_fit(candidates, io_req):
+    remaining = list(candidates)
+    victims = []
+    need = io_req
+    while need > _EPS and remaining:
+        best_idx = min(
+            range(len(remaining)), key=lambda k: (abs(remaining[k][1] - need), k)
+        )
+        node, size = remaining.pop(best_idx)
+        victims.append(node)
+        need -= size
+    return victims
+
+
+def _oracle_best_fill(candidates, io_req):
+    remaining = list(candidates)
+    victims = []
+    need = io_req
+    while need > _EPS and remaining:
+        eligible = [
+            (k, size) for k, (_, size) in enumerate(remaining) if size < need - _EPS
+        ]
+        if not eligible:
+            victims.extend(select_lsnf(remaining, need))
+            return victims
+        best_idx = min(eligible, key=lambda item: (need - item[1], item[0]))[0]
+        node, size = remaining.pop(best_idx)
+        victims.append(node)
+        need -= size
+    return victims
+
+
+class TestSortedStructureOracles:
+    """The bisect implementations match the quadratic originals exactly."""
+
+    def _random_cases(self, tie_heavy):
+        import random
+
+        rng = random.Random(0xBE57F17 if tie_heavy else 0xF111)
+        for _ in range(1500):
+            n = rng.randrange(0, 16)
+            if tie_heavy:
+                # small integer sizes: many equal-size runs and exactly
+                # equidistant below/above pairs, the tie-break hot spots
+                sizes = [float(rng.choice((0, 1, 1, 2, 3, 4, 5))) for _ in range(n)]
+                need = float(rng.choice((0, 1, 2, 3, 4, 7)) + rng.choice((0, 0, 0.5)))
+            else:
+                sizes = [rng.random() * 10 for _ in range(n)]
+                need = rng.random() * 25
+            yield [(f"n{i}", size) for i, size in enumerate(sizes)], need
+
+    @pytest.mark.parametrize("tie_heavy", (False, True))
+    def test_best_fit_matches_oracle(self, tie_heavy):
+        for candidates, need in self._random_cases(tie_heavy):
+            assert select_best_fit(candidates, need) == _oracle_best_fit(
+                candidates, need
+            ), (candidates, need)
+
+    @pytest.mark.parametrize("tie_heavy", (False, True))
+    def test_best_fill_matches_oracle(self, tie_heavy):
+        for candidates, need in self._random_cases(tie_heavy):
+            assert select_best_fill(candidates, need) == _oracle_best_fill(
+                candidates, need
+            ), (candidates, need)
+
+    def test_equidistant_tie_prefers_earlier_candidate(self):
+        # need 3: sizes 2 and 4 are equidistant; the earlier candidate wins
+        # regardless of which side of the need it sits on
+        assert select_best_fit([("a", 4.0), ("b", 2.0)], 3.0) == ["a"]
+        # "a" (2.0) wins the tie but leaves 1.0 uncovered, so "b" follows
+        assert select_best_fit([("a", 2.0), ("b", 4.0)], 3.0) == ["a", "b"]
+
+    def test_equal_size_run_prefers_earlier_candidate(self):
+        cands = [("a", 2.0), ("b", 2.0), ("c", 2.0)]
+        assert select_best_fit(cands, 5.0) == ["a", "b", "c"]
+        # best_fill evicts a then b, and the residual 1.0 has no strictly
+        # smaller file left, so the LSNF fallback takes c as well
+        assert select_best_fill(cands, 5.0) == ["a", "b", "c"]
+
+    def test_best_fill_lsnf_fallback_sees_survivors_in_order(self):
+        # first eviction removes "b" (best fill for 3: largest size < 3);
+        # nothing is strictly below the remaining 1.0, so LSNF takes the
+        # surviving candidates in their original order, "a" first
+        cands = [("a", 5.0), ("b", 2.0), ("c", 4.0)]
+        assert select_best_fill(cands, 3.0) == ["b", "a"]

@@ -1,0 +1,88 @@
+"""Measure the persistent batch engine against the legacy per-call pool.
+
+Runs the same campaign twice through :func:`repro.bench.run_scenarios` --
+once with ``pool="fresh"`` (the legacy structure: one one-shot process pool
+per ``solve_many`` call, every payload carrying a pickled tree, budget
+sweeps as serial size-1 batches) and once with ``pool="persistent"`` (the
+campaign plan on the shared-memory engine) -- and writes the persistent
+run's ``BENCH_*.json`` artifact with the measured baseline embedded under
+``run.baseline``, so one committed artifact carries both campaign wall
+times.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine_demo.py \
+        [--scenario service] [--workers 4] [--repeat 3] [--warmup 1] \
+        [--seed 0] [--output BENCH_x.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import get_scenario, run_scenarios  # noqa: E402
+from repro.bench.artifact import run_to_dict  # noqa: E402
+from repro.solvers import shutdown_engine  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="service")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    scenarios = [get_scenario(args.scenario)]
+    common = dict(
+        seed=args.seed, repeat=args.repeat, warmup=args.warmup, workers=args.workers
+    )
+
+    print(f"campaign: {args.scenario} x workers={args.workers} "
+          f"repeat={args.repeat} warmup={args.warmup}", flush=True)
+    baseline = run_scenarios(scenarios, pool="fresh", **common)
+    print(f"  legacy per-call pool : {baseline.campaign_seconds:8.2f}s "
+          f"({len(baseline.records)} records)", flush=True)
+
+    engine_run = run_scenarios(scenarios, pool="persistent", **common)
+    shutdown_engine()
+    print(f"  persistent engine    : {engine_run.campaign_seconds:8.2f}s "
+          f"({len(engine_run.records)} records)", flush=True)
+    speedup = baseline.campaign_seconds / engine_run.campaign_seconds
+    print(f"  speedup              : {speedup:8.2f}x", flush=True)
+
+    # the two runs must agree on everything except wall times
+    def strip(records):
+        return [
+            (r.key, r.peak_memory, r.io_volume, r.replay_ok, r.optimality_ratio)
+            for r in records
+        ]
+
+    if strip(baseline.records) != strip(engine_run.records):
+        print("error: pool modes disagree on deterministic metrics", file=sys.stderr)
+        return 1
+
+    document = run_to_dict(engine_run)
+    document["run"]["baseline"] = {
+        "pool": "fresh",
+        "campaign_seconds": baseline.campaign_seconds,
+        "speedup": speedup,
+    }
+    path = args.output
+    if path is None:
+        stamp = document["created_utc"].replace("-", "").replace(":", "")
+        path = Path(f"BENCH_{stamp}.json")
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(engine_run.records)} records to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
