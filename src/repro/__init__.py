@@ -3,7 +3,7 @@
 A from-scratch reproduction of *"On optimal tree traversals for sparse matrix
 factorization"* (Jacquelin, Marchal, Robert, Uçar; IPPS 2011).
 
-The library is organised in six layers:
+The library is organised in seven layers:
 
 ``repro.core``
     Task-tree model, traversal checkers, the three MinMemory algorithms
@@ -30,6 +30,11 @@ The library is organised in six layers:
     shared-memory batch engine (``repro.solvers.engine``) that fans
     parallel batches over a reusable worker pool, shipping each tree's
     kernel to the workers exactly once.
+``repro.service``
+    Solver-as-a-service: a long-lived asyncio daemon over the batch engine
+    with a bounded request queue, admission control, per-request deadlines
+    and content-token tree interning, behind HTTP/JSON and NDJSON stdio
+    front ends (``repro serve``).
 ``repro.analysis``
     Dolan--Moré performance profiles, statistics tables, dataset builders and
     the experiment drivers that regenerate every table and figure of the
@@ -137,7 +142,7 @@ from .solvers import (
     solve_many,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -21,6 +21,11 @@ first-class, machine-readable pipeline on top of the solver registry:
     :func:`run_scenarios`: executes the campaign through
     :func:`repro.solvers.solve_many` (parallel workers, warmup + repeat
     timing) and collects per-cell metrics including optimality ratios.
+``repro.bench.traffic``
+    Open-loop traffic benchmarks over the :mod:`repro.service` daemon:
+    seeded Poisson/bursty arrival schedules (plus a closed-loop baseline)
+    replayed against a live service, recording latency percentiles,
+    throughput, rejections and deadline misses per load cell.
 ``repro.bench.artifact``
     Schema-versioned ``BENCH_<timestamp>.json`` persistence plus
     :func:`compare_artifacts`, which diffs two artifacts and flags
@@ -38,6 +43,7 @@ or from the command line::
 
     repro-treemem bench --list
     repro-treemem bench --filter minmem --json
+    repro-treemem bench --traffic --smoke --transport stdio
     repro-treemem bench --compare BENCH_old.json BENCH_new.json
 """
 
@@ -70,6 +76,16 @@ from .scenario import (
     select_scenarios,
 )
 from . import scenarios as _builtin_scenarios  # noqa: F401  (registers the campaign)
+from .traffic import (
+    TrafficCell,
+    TrafficScenario,
+    UnknownTrafficScenarioError,
+    get_traffic_scenario,
+    list_traffic_scenarios,
+    register_traffic_scenario,
+    run_traffic_scenarios,
+    select_traffic_scenarios,
+)
 
 __all__ = [
     # scenarios
@@ -91,6 +107,15 @@ __all__ = [
     "BenchRecord",
     "BenchRun",
     "run_scenarios",
+    # traffic
+    "TrafficCell",
+    "TrafficScenario",
+    "UnknownTrafficScenarioError",
+    "register_traffic_scenario",
+    "get_traffic_scenario",
+    "list_traffic_scenarios",
+    "select_traffic_scenarios",
+    "run_traffic_scenarios",
     # artifacts
     "BENCH_SCHEMA_VERSION",
     "ArtifactError",

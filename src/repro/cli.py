@@ -19,7 +19,14 @@
   replay-validate every schedule and optionally persist a schema-versioned
   ``BENCH_<timestamp>.json`` artifact;
 * ``repro-treemem bench --compare OLD.json NEW.json`` -- diff two benchmark
-  artifacts and exit non-zero on a regression.
+  artifacts and exit non-zero on a regression;
+* ``repro-treemem bench --traffic [--transport stdio]`` -- open-loop traffic
+  benchmarks (Poisson / bursty arrivals) over the service daemon, with
+  latency percentiles, throughput and rejection counts per load cell;
+* ``repro-treemem serve --stdio | --port N`` -- run the solver service
+  daemon (see :mod:`repro.service`): NDJSON on stdin/stdout or HTTP/JSON on
+  a socket, backed by the persistent engine with admission control and
+  per-request deadlines.
 
 Every subcommand dispatches through the :mod:`repro.solvers` registry, so
 solvers registered by third-party code (imported before :func:`main` runs)
@@ -190,6 +197,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--time-threshold", type=float, default=None, metavar="FRAC",
                          help="relative slowdown flagged as a timing regression "
                               "by --compare (default: 0.25)")
+    p_bench.add_argument("--traffic", action="store_true",
+                         help="run the open-loop traffic scenarios over the "
+                              "service daemon instead of the campaign grid "
+                              "(--filter/--smoke select traffic scenarios)")
+    p_bench.add_argument("--transport", choices=("inproc", "stdio"),
+                         default="inproc",
+                         help="traffic transport: 'inproc' = direct service "
+                              "calls, 'stdio' = full NDJSON round trips "
+                              "through the stdio front end (default: inproc)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the solver service daemon (see repro.service)"
+    )
+    mode = p_serve.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--stdio", action="store_true",
+                      help="newline-delimited JSON on stdin/stdout")
+    mode.add_argument("--port", type=int, default=None, metavar="PORT",
+                      help="HTTP/JSON on this port (0 = ephemeral)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --port (default: 127.0.0.1)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker processes of the persistent engine "
+                              "(default: in-process execution)")
+    p_serve.add_argument("--pool", choices=("persistent", "serial"), default=None,
+                         help="executor: 'persistent' = shared-memory engine, "
+                              "'serial' = in-process threads (default: "
+                              "persistent when --workers > 1)")
+    p_serve.add_argument("--max-pending", type=int, default=128, metavar="N",
+                         help="admission bound on queued+executing requests; "
+                              "beyond it requests are rejected (default: 128)")
+    p_serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                         help="solves running concurrently (default: sized "
+                              "from the executor)")
+    p_serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                         help="default deadline applied to requests that do "
+                              "not carry one (default: none)")
+    p_serve.add_argument("--engine", choices=("kernel", "reference"), default=None,
+                         help="execution engine forwarded to every solve")
     return parser
 
 
@@ -212,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_pipeline(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except UnknownSolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -417,12 +464,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0 if comparison.ok else 1
 
     if args.list_scenarios:
+        if args.traffic:
+            print(f"{'name':<20} {'cells':<6} {'smoke':<6} summary")
+            for name in bench.list_traffic_scenarios():
+                scenario = bench.get_traffic_scenario(name)
+                smoke = "yes" if scenario.smoke else "no"
+                print(f"{scenario.name:<20} {len(scenario.cells):<6} "
+                      f"{smoke:<6} {scenario.summary}")
+            return 0
         print(f"{'name':<14} {'family':<10} {'smoke':<6} summary")
         for scenario in bench.scenario_table():
             smoke = "yes" if scenario.smoke else "no"
             print(f"{scenario.name:<14} {scenario.family:<10} {smoke:<6} "
                   f"{scenario.summary}")
         return 0
+
+    if args.traffic:
+        return _cmd_bench_traffic(args, bench)
 
     if args.repeat < 1 or args.warmup < 0:
         print("error: --repeat must be >= 1 and --warmup >= 0", file=sys.stderr)
@@ -454,6 +512,104 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"replay FAILED  {record.key}: {record.replay_error}",
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def _format_traffic_table(run) -> str:
+    """One line per traffic cell: volumes, latency percentiles, throughput."""
+    header = (
+        f"{'scenario/cell':<46} {'reqs':>6} {'done':>6} {'rej':>5} "
+        f"{'miss':>5} {'p50':>9} {'p99':>9} {'req/s':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in run.records:
+        e = r.extras
+        lines.append(
+            f"{r.scenario + '/' + r.instance:<46} {e['requests']:>6} "
+            f"{e['completed']:>6} {e['rejected']:>5} {e['deadline_missed']:>5} "
+            f"{e['latency_p50'] * 1e3:>7.2f}ms {e['latency_p99'] * 1e3:>7.2f}ms "
+            f"{e['throughput_rps']:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_bench_traffic(args: argparse.Namespace, bench) -> int:
+    """The ``bench --traffic`` branch: open-loop load over the service."""
+    if args.pool == "fresh":
+        print("error: the service daemon has no 'fresh' pool mode; use "
+              "'persistent' or 'serial'", file=sys.stderr)
+        return 2
+    scenarios = bench.select_traffic_scenarios(args.filter, smoke=args.smoke)
+    if not scenarios:
+        print(f"error: no traffic scenario matches filter {args.filter!r}",
+              file=sys.stderr)
+        return 2
+    run = bench.run_traffic_scenarios(
+        scenarios,
+        seed=args.seed,
+        workers=args.workers,
+        pool=args.pool,
+        transport=args.transport,
+    )
+    print(_format_traffic_table(run))
+    print(f"\ntraffic wall time: {run.campaign_seconds:.3f}s "
+          f"(transport={args.transport}, workers={run.workers or 0})")
+    if args.json or args.output is not None:
+        path = bench.write_artifact(run, args.output)
+        print(f"\nwrote {len(run.records)} records to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the daemon until EOF or interrupt."""
+    import asyncio
+
+    from .service import SolverService, run_stdio_server, start_http_server
+
+    solver_options = {} if args.engine is None else {"engine": args.engine}
+    if args.max_pending < 1:
+        print("error: --max-pending must be >= 1", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        service = SolverService(
+            workers=args.workers,
+            pool=args.pool,
+            max_pending=args.max_pending,
+            max_inflight=args.max_inflight,
+            default_deadline=args.deadline,
+            solver_options=solver_options,
+        )
+        async with service:
+            if args.stdio:
+                snapshot = await run_stdio_server(service)
+                print(
+                    f"served {snapshot['completed']} requests "
+                    f"({snapshot['rejected']} rejected, "
+                    f"{snapshot['deadline_misses']} deadline misses)",
+                    file=sys.stderr,
+                )
+                return
+            server = await start_http_server(service, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving on http://{host}:{port} "
+                  f"(pool={service.pool_mode}, workers={service.workers}, "
+                  f"max-pending={service.max_pending}) -- Ctrl-C to stop",
+                  file=sys.stderr)
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    try:
+        asyncio.run(_run())
+    except (KeyboardInterrupt, ValueError) as exc:
+        if isinstance(exc, ValueError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 

@@ -1,0 +1,613 @@
+"""The long-lived asyncio daemon over the persistent solve engine.
+
+:class:`SolverService` is the core both front ends share -- a single-process
+control loop modelled on the scatter-once / stop-flag structure of treeck's
+``DistributedVerifier``:
+
+* **accept**: a request document is parsed and its tree interned
+  (:mod:`repro.service.protocol`) *before* it can occupy a queue slot;
+* **admit**: admission control bounds the number of pending requests
+  (queued + executing); a full service rejects synchronously with the typed
+  :class:`~repro.service.errors.QueueFullError` -- backpressure, never
+  silent queueing;
+* **intern**: the interned tree's kernel is exported to the engine's shared
+  arena once, so a stream of requests against the same tree ships it to the
+  worker processes exactly once;
+* **dispatch**: a dispatcher task feeds admitted requests to the executor --
+  per-request futures on the persistent :class:`~repro.solvers.engine.SolveEngine`
+  (``pool="persistent"``) or an in-process thread pool (``pool="serial"``,
+  also the automatic fallback where subprocesses are unavailable) -- with a
+  bounded number in flight;
+* **report**: the response carries the frozen
+  :class:`~repro.solvers.SolveReport` plus the queue/solve/total timing
+  breakdown.
+
+Deadlines are cooperative: each request may carry one (seconds from
+acceptance), enforced by a per-request watchdog timer.  When it fires the
+response resolves *immediately* with a typed
+:class:`~repro.service.errors.DeadlineError` naming the stage (``queued`` --
+the solve is skipped entirely, and a not-yet-started engine future is
+cancelled -- or ``executing`` -- the miss is accounted and the abandoned
+solve drains in the background).  A request therefore never hangs past its
+deadline, whatever the queue looks like.
+
+Shutdown is graceful by default: :meth:`SolverService.close` stops admission
+(:class:`~repro.service.errors.ServiceClosedError`), drains every admitted
+request to a response, then releases the engine's workers and shared-memory
+segments (``drain=False`` aborts instead: queued requests are flushed with
+``closed`` responses and the engine's stop flag cuts new dispatches).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..solvers.facade import _solve_task
+from .errors import (
+    DeadlineError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    SolverFailedError,
+)
+from .protocol import (
+    ServiceRequest,
+    ServiceResponse,
+    TreeInterner,
+    error_response,
+    parse_request,
+)
+
+__all__ = ["SolverService", "ServiceStats", "SERVICE_POOL_MODES"]
+
+#: executor modes of the service: the persistent process engine or an
+#: in-process thread pool (the latter also the automatic fallback)
+SERVICE_POOL_MODES = ("persistent", "serial")
+
+#: hard cap on recorded latencies (the stats snapshot stays bounded)
+_MAX_LATENCY_SAMPLES = 200_000
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending list (q in 0..100)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one service instance."""
+
+    accepted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    bad_requests: int = 0
+    solver_errors: int = 0
+    deadline_miss_queued: int = 0
+    deadline_miss_executing: int = 0
+    drained: int = 0
+    max_queue_depth: int = 0
+    _latencies: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def deadline_misses(self) -> int:
+        return self.deadline_miss_queued + self.deadline_miss_executing
+
+    def record_latency(self, seconds: float) -> None:
+        if len(self._latencies) < _MAX_LATENCY_SAMPLES:
+            self._latencies.append(seconds)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of the completed requests' total latency (seconds)."""
+        ordered = sorted(self._latencies)
+        return {
+            "p50": _percentile(ordered, 50.0),
+            "p95": _percentile(ordered, 95.0),
+            "p99": _percentile(ordered, 99.0),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        doc = {
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "bad_requests": self.bad_requests,
+            "solver_errors": self.solver_errors,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_queued": self.deadline_miss_queued,
+            "deadline_miss_executing": self.deadline_miss_executing,
+            "drained": self.drained,
+            "max_queue_depth": self.max_queue_depth,
+        }
+        doc["latency_seconds"] = self.latency_percentiles()
+        return doc
+
+
+class _Pending:
+    """Book-keeping of one admitted request."""
+
+    __slots__ = (
+        "request", "future", "timer", "state", "dispatched_at", "exec_future",
+    )
+
+    def __init__(self, request: ServiceRequest, future: "asyncio.Future") -> None:
+        self.request = request
+        self.future = future
+        self.timer = None           # watchdog handle (deadline requests)
+        self.state = "queued"       # -> "executing" -> responded
+        self.dispatched_at = 0.0
+        self.exec_future = None     # engine future, for cooperative cancel
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+_SENTINEL = object()
+
+
+class SolverService:
+    """Async request queue + admission control over the solve engine.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes of the persistent engine (``pool="persistent"``);
+        ``None``/``0``/``1`` with the default pool selects the in-process
+        thread executor instead.
+    pool:
+        ``"persistent"`` -- the service owns a
+        :class:`~repro.solvers.engine.SolveEngine` (processes, shared-memory
+        arena), shut down with the service; ``"serial"`` -- an in-process
+        thread pool (deterministic, sandbox-safe); ``None`` picks
+        ``"persistent"`` when ``workers > 1``.  Unknown strings raise
+        :class:`ValueError` eagerly, mirroring ``solve_many``.
+    max_pending:
+        Admission bound on requests alive in the service (queued plus
+        executing).  Submissions beyond it raise :class:`QueueFullError`.
+    max_inflight:
+        Solves running concurrently; defaults to ``2 x workers`` on the
+        engine (one extra per worker hides IPC latency at the boundary) and
+        ``workers or 1`` on threads.
+    default_deadline:
+        Deadline (seconds) applied to requests that do not carry one;
+        ``None`` = no implicit deadline.
+    solver_options:
+        Options merged under every request's own (e.g. ``engine="kernel"``).
+    interner_capacity:
+        LRU size of the tree interner.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        pool: Optional[str] = None,
+        max_pending: int = 128,
+        max_inflight: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        solver_options: Optional[Dict[str, Any]] = None,
+        interner_capacity: int = 512,
+        use_shared_memory: Optional[bool] = None,
+    ) -> None:
+        if pool not in (None, *SERVICE_POOL_MODES):
+            raise ValueError(
+                f"unknown service pool mode {pool!r}; expected one of "
+                f"{SERVICE_POOL_MODES}"
+            )
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.workers = int(workers or 0)
+        if pool is None:
+            pool = "persistent" if self.workers > 1 else "serial"
+        self.pool_mode = pool
+        self.max_pending = max_pending
+        if max_inflight is None:
+            if pool == "persistent":
+                max_inflight = 2 * max(1, self.workers)
+            else:
+                max_inflight = max(1, self.workers)
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.default_deadline = default_deadline
+        self.solver_options = dict(solver_options or {})
+        self.interner = TreeInterner(capacity=interner_capacity)
+        self.stats = ServiceStats()
+        self._use_shared_memory = use_shared_memory
+        self._engine = None
+        self._thread_pool = None
+        self._queue: "asyncio.Queue" = None  # created in start()
+        self._inflight: "asyncio.Semaphore" = None
+        self._idle: "asyncio.Event" = None
+        self._dispatcher: "asyncio.Task" = None
+        self._tasks: set = set()
+        self._pending_count = 0
+        self._started = False
+        self._accepting = False
+        self._closed = False
+        self._abort = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SolverService":
+        """Start the dispatcher (idempotent); returns self for chaining."""
+        if self._started:
+            return self
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        if self.pool_mode == "persistent":
+            from ..solvers.engine import SolveEngine
+
+            self._engine = SolveEngine(use_shared_memory=self._use_shared_memory)
+        self._dispatcher = loop.create_task(self._dispatch_loop())
+        self._started = True
+        self._accepting = True
+        return self
+
+    async def __aenter__(self) -> "SolverService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def pending(self) -> int:
+        """Requests alive in the service (queued + executing)."""
+        return self._pending_count
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def close(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop admission, settle every admitted request, release the engine.
+
+        With ``drain=True`` (the default) every admitted request still runs
+        to a real response before the workers go away.  With ``drain=False``
+        the engine's stop flag is set, queued requests are flushed with
+        ``closed`` responses, and not-yet-started solves are cancelled.
+        ``timeout`` bounds the wait; stragglers are then flushed with
+        ``closed`` responses as well, so no caller is left hanging.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        self._accepting = False
+        if not drain:
+            self._abort = True
+            if self._engine is not None:
+                self._engine.stop()
+        self._queue.put_nowait(_SENTINEL)
+        try:
+            await asyncio.wait_for(self._dispatcher, timeout)
+        except asyncio.TimeoutError:
+            self._dispatcher.cancel()
+        if self._tasks:
+            done, stragglers = await asyncio.wait(set(self._tasks), timeout=timeout)
+            for task in stragglers:
+                task.cancel()
+        # whatever is still unresponded (abort path, timeout) gets a typed
+        # closed response -- callers never hang on a closing service
+        for pending in list(self._by_future_pendings()):
+            self._finish(
+                pending,
+                error_response(
+                    pending.request.id,
+                    ServiceClosedError("service closed before the solve finished"),
+                    tree_token=pending.request.tree_token,
+                    algorithm=pending.request.algorithm,
+                    total_seconds=perf_counter() - pending.request.accepted_at,
+                ),
+            )
+        if self._engine is not None:
+            self._engine.shutdown()
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+
+    def _by_future_pendings(self) -> List[_Pending]:
+        # pendings are reachable through the queue (never dispatched) only;
+        # executing ones respond through their task, which has settled by now
+        out = []
+        while self._queue is not None and not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not _SENTINEL and not item.done():
+                out.append(item)
+        return out
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_nowait(self, request: ServiceRequest) -> "asyncio.Future":
+        """Admit ``request`` and return the future of its response.
+
+        Raises
+        ------
+        ServiceClosedError
+            When the service is not started, closing or closed.
+        QueueFullError
+            When admission control finds ``max_pending`` requests alive --
+            the request is *not* enqueued.
+        """
+        if not self._started or not self._accepting:
+            raise ServiceClosedError("service is not accepting requests")
+        if self._pending_count >= self.max_pending:
+            self.stats.rejected += 1
+            raise QueueFullError(
+                f"request queue is full ({self._pending_count} pending, "
+                f"bound {self.max_pending}); retry with backoff"
+            )
+        loop = asyncio.get_running_loop()
+        request.accepted_at = perf_counter()
+        pending = _Pending(request, loop.create_future())
+        self._pending_count += 1
+        self._idle.clear()
+        self.stats.accepted += 1
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, self._queue.qsize() + 1
+        )
+        if request.deadline is not None:
+            pending.timer = loop.call_later(
+                request.deadline, self._expire, pending
+            )
+        self._queue.put_nowait(pending)
+        return pending.future
+
+    async def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Admit ``request`` and await its response (admission may raise)."""
+        return await self.submit_nowait(request)
+
+    async def handle(self, doc: Dict[str, Any]) -> ServiceResponse:
+        """Full request lifecycle for one wire document; never raises.
+
+        Parse + intern, admit, await.  Every failure -- malformed document,
+        queue full, closed service -- comes back as an error *response*, so
+        the front ends share one code path.
+        """
+        try:
+            request = parse_request(
+                doc, self.interner, default_deadline=self.default_deadline
+            )
+        except ServiceError as exc:
+            self.stats.bad_requests += 1
+            request_id = doc.get("id") if isinstance(doc, dict) else None
+            return error_response(
+                request_id if isinstance(request_id, str) else None, exc
+            )
+        try:
+            future = self.submit_nowait(request)
+        except ServiceError as exc:
+            return error_response(
+                request.id, exc,
+                tree_token=request.tree_token, algorithm=request.algorithm,
+            )
+        return await future
+
+    async def join(self) -> None:
+        """Wait until no request is pending (the service is idle)."""
+        await self._idle.wait()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _SENTINEL:
+                break
+            if item.done():  # deadline fired while queued
+                continue
+            await self._inflight.acquire()
+            if item.done():  # ... or while waiting for an inflight slot
+                self._inflight.release()
+                continue
+            if self._abort:
+                self._inflight.release()
+                self._finish(
+                    item,
+                    error_response(
+                        item.request.id,
+                        ServiceClosedError("service closed before dispatch"),
+                        tree_token=item.request.tree_token,
+                        algorithm=item.request.algorithm,
+                        queue_seconds=perf_counter() - item.request.accepted_at,
+                        total_seconds=perf_counter() - item.request.accepted_at,
+                    ),
+                )
+                continue
+            task = asyncio.get_running_loop().create_task(self._execute(item))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _execute(self, pending: _Pending) -> None:
+        request = pending.request
+        try:
+            pending.state = "executing"
+            pending.dispatched_at = perf_counter()
+            cell = (
+                request.tree,
+                request.algorithm,
+                request.memory,
+                {**self.solver_options, **request.options},
+            )
+            try:
+                report = await self._run_cell(cell, pending)
+            except asyncio.CancelledError:
+                # the watchdog cancelled a not-yet-started engine future (or
+                # an aborting close tore the pool down); the response -- a
+                # deadline or closed error -- is already settled
+                return
+            except ServiceError as exc:
+                self._respond_error(pending, exc)
+                return
+            except Exception as exc:
+                self._respond_error(
+                    pending,
+                    SolverFailedError(f"{type(exc).__name__}: {exc}", cause=exc),
+                )
+                return
+            if pending.done():
+                # deadline fired mid-solve: the miss is already accounted,
+                # the late report is dropped on the floor
+                return
+            end = perf_counter()
+            self._finish(
+                pending,
+                ServiceResponse(
+                    request_id=request.id,
+                    status="ok",
+                    algorithm=request.algorithm,
+                    tree_token=request.tree_token,
+                    report=report,
+                    report_mode=request.report_mode,
+                    queue_seconds=pending.dispatched_at - request.accepted_at,
+                    solve_seconds=end - pending.dispatched_at,
+                    total_seconds=end - request.accepted_at,
+                ),
+            )
+        finally:
+            self._inflight.release()
+
+    async def _run_cell(self, cell: Tuple, pending: _Pending):
+        """Run one cell on the engine (future seam) or the thread fallback."""
+        if self._engine is not None:
+            from ..solvers.engine import EngineStoppedError
+
+            try:
+                exec_future = self._engine.submit(cell, self.workers)
+            except EngineStoppedError:
+                raise ServiceClosedError("engine is stopping") from None
+            if exec_future is not None:
+                pending.exec_future = exec_future
+                from concurrent.futures.process import BrokenProcessPool
+
+                try:
+                    return await asyncio.wrap_future(exec_future)
+                except BrokenProcessPool:
+                    # a worker crashed mid-request: heal the pool and give
+                    # this request its answer in-process
+                    self._engine.pool.reset()
+                    pending.exec_future = None
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._threads(), _solve_task, cell)
+
+    def _threads(self):
+        if self._thread_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.max_inflight,
+                thread_name_prefix="repro-service",
+            )
+        return self._thread_pool
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _expire(self, pending: _Pending) -> None:
+        """Watchdog: the request's deadline fired -- respond *now*."""
+        if pending.done():
+            return
+        request = pending.request
+        stage = pending.state
+        now = perf_counter()
+        if stage == "queued":
+            queue_seconds = now - request.accepted_at
+            solve_seconds = 0.0
+        else:
+            queue_seconds = pending.dispatched_at - request.accepted_at
+            solve_seconds = now - pending.dispatched_at
+        if pending.exec_future is not None:
+            # cooperative cancellation: an engine future still in the pool
+            # queue dies here; a running solve merely gets abandoned
+            pending.exec_future.cancel()
+        self._finish(
+            pending,
+            error_response(
+                request.id,
+                DeadlineError(
+                    f"deadline of {request.deadline:g}s exceeded while {stage}",
+                    stage=stage,
+                ),
+                tree_token=request.tree_token,
+                algorithm=request.algorithm,
+                queue_seconds=queue_seconds,
+                solve_seconds=solve_seconds,
+                total_seconds=now - request.accepted_at,
+            ),
+        )
+
+    def _respond_error(self, pending: _Pending, error: ServiceError) -> None:
+        if pending.done():
+            return
+        request = pending.request
+        now = perf_counter()
+        self._finish(
+            pending,
+            error_response(
+                request.id, error,
+                tree_token=request.tree_token, algorithm=request.algorithm,
+                queue_seconds=pending.dispatched_at - request.accepted_at,
+                solve_seconds=now - pending.dispatched_at,
+                total_seconds=now - request.accepted_at,
+            ),
+        )
+
+    def _finish(self, pending: _Pending, response: ServiceResponse) -> None:
+        """Resolve one pending request exactly once and account it."""
+        if pending.done():
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        pending.future.set_result(response)
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self._idle.set()
+        error = response.error
+        if response.ok:
+            self.stats.completed += 1
+            self.stats.record_latency(response.total_seconds)
+        elif isinstance(error, DeadlineError):
+            if error.stage == "queued":
+                self.stats.deadline_miss_queued += 1
+            else:
+                self.stats.deadline_miss_executing += 1
+        elif isinstance(error, SolverFailedError):
+            self.stats.solver_errors += 1
+        elif isinstance(error, ServiceClosedError):
+            self.stats.drained += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Live stats document (the ``/stats`` and stdio ``op: stats`` body)."""
+        doc = self.stats.snapshot()
+        doc.update(
+            pending=self._pending_count,
+            queue_depth=self.queue_depth,
+            max_pending=self.max_pending,
+            max_inflight=self.max_inflight,
+            pool=self.pool_mode,
+            workers=self.workers,
+            interned_trees=len(self.interner),
+            interner_hits=self.interner.hits,
+            interner_misses=self.interner.misses,
+            accepting=self._accepting,
+        )
+        return doc

@@ -1,0 +1,158 @@
+"""Typed errors of the solver service.
+
+Every failure a request can hit has a dedicated exception class carrying a
+stable wire ``code`` (the ``status`` field of an error response) and the
+HTTP status the JSON front end maps it to.  The daemon never lets a request
+hang: admission failures raise synchronously
+(:class:`QueueFullError`, :class:`ServiceClosedError`), and asynchronous
+failures (deadlines, solver crashes) resolve the request's response with the
+error attached -- :meth:`~repro.service.protocol.ServiceResponse.raise_for_status`
+re-raises the typed form for Python callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "UnknownTreeTokenError",
+    "QueueFullError",
+    "DeadlineError",
+    "ServiceClosedError",
+    "SolverFailedError",
+    "error_from_dict",
+]
+
+
+class ServiceError(Exception):
+    """Base class of every service-level failure.
+
+    Attributes
+    ----------
+    code:
+        Stable wire identifier, used as the ``status`` of error responses.
+    http_status:
+        Status code the HTTP front end responds with.
+    """
+
+    code = "error"
+    http_status = 500
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe description (the ``error`` block of a response)."""
+        return {"type": type(self).__name__, "code": self.code,
+                "message": str(self)}
+
+
+class BadRequestError(ServiceError):
+    """The request document is malformed (unparseable tree, bad field, ...)."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+class UnknownTreeTokenError(BadRequestError):
+    """A ``{"tree": {"token": ...}}`` payload named a token not interned.
+
+    Tokens are an optimisation, not storage: the interner is a bounded LRU,
+    so clients must be prepared to re-send the full payload when a token has
+    been evicted.
+    """
+
+    code = "unknown_tree_token"
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected the request: the pending queue is full.
+
+    Raised synchronously at submission -- the request is *not* enqueued, so
+    callers get immediate backpressure instead of silent queueing.
+    """
+
+    code = "rejected"
+    http_status = 429
+
+
+class DeadlineError(ServiceError):
+    """The request exceeded its deadline (while queued or while executing).
+
+    ``stage`` records where the deadline fired: ``"queued"`` means the
+    request never reached a worker (the solve was skipped entirely),
+    ``"executing"`` means the solve was already running -- the service
+    responds at the deadline and accounts the miss, while the abandoned
+    solve finishes (or is cancelled, if it had not started) in the
+    background.
+    """
+
+    code = "deadline"
+    http_status = 504
+
+    def __init__(self, message: str, *, stage: str) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = super().to_dict()
+        doc["stage"] = self.stage
+        return doc
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or closed and accepts no new requests."""
+
+    code = "closed"
+    http_status = 503
+
+
+class SolverFailedError(ServiceError):
+    """The solver itself raised; the original exception is summarised.
+
+    Requests carrying solver-level mistakes (an option value the algorithm
+    rejects, an infeasible memory bound) land here rather than taking the
+    daemon down.
+    """
+
+    code = "solver_error"
+    http_status = 500
+
+    def __init__(self, message: str, *, cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.cause_type = type(cause).__name__ if cause is not None else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = super().to_dict()
+        doc["cause"] = self.cause_type
+        return doc
+
+
+#: wire code -> exception class, for rebuilding typed errors client-side
+_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        BadRequestError,
+        UnknownTreeTokenError,
+        QueueFullError,
+        ServiceClosedError,
+        SolverFailedError,
+    )
+}
+
+
+def error_from_dict(doc: Dict[str, Any]) -> ServiceError:
+    """Rebuild the typed error described by an error-response block.
+
+    Used by clients (the load generator, tests) to turn a wire response back
+    into the exception the server raised; unknown codes degrade to the base
+    :class:`ServiceError`.
+    """
+    code = doc.get("code") or doc.get("status") or "error"
+    message = str(doc.get("message", code))
+    if code == DeadlineError.code:
+        return DeadlineError(message, stage=str(doc.get("stage", "unknown")))
+    cls = _BY_CODE.get(code, ServiceError)
+    if cls is SolverFailedError:
+        return SolverFailedError(message)
+    return cls(message)

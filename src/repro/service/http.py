@@ -1,0 +1,164 @@
+"""HTTP/JSON front end on asyncio streams -- no framework, no dependency.
+
+A deliberately small HTTP/1.1 server (``asyncio.start_server``) exposing the
+shared :class:`~repro.service.daemon.SolverService` core:
+
+* ``POST /solve`` -- a request document (see :mod:`repro.service.protocol`)
+  in, a response document out.  Error responses use the typed error's
+  ``http_status`` (400 bad request, 429 queue full, 503 closed, 504
+  deadline, 500 solver failure), so plain HTTP clients get meaningful
+  status codes without reading the body.
+* ``GET /healthz`` -- liveness: ``{"status": "ok", "accepting": ...}``.
+* ``GET /stats`` -- the live counters/percentiles snapshot.
+
+Connections are keep-alive by default (``Connection: close`` honoured), one
+request at a time per connection -- concurrency comes from concurrent
+connections, which is how the open-loop load generator drives it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .daemon import SolverService
+from .errors import BadRequestError, ServiceError
+from .protocol import error_response
+
+__all__ = ["start_http_server", "MAX_BODY_BYTES"]
+
+#: request bodies beyond this are refused (a million-node parent array fits)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _encode(status: int, doc: Dict[str, Any], *, keep_alive: bool) -> bytes:
+    body = json.dumps(doc, separators=(",", ":")).encode()
+    reason = _REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode() + body
+
+
+async def _read_request(
+    reader: "asyncio.StreamReader",
+) -> Optional[Tuple[str, str, bytes]]:
+    """One request off the wire: (method, path, body); ``None`` at EOF."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) < 2:
+        raise BadRequestError("malformed HTTP request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            return None  # peer went away mid-headers
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, _, value = text.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise BadRequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    if headers.get("connection", "").lower() == "close":
+        method = "!" + method  # flag: close after responding
+    return method, path, body
+
+
+async def _handle_connection(
+    service: SolverService,
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+) -> None:
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except (BadRequestError, ValueError, asyncio.IncompleteReadError):
+                writer.write(_encode(
+                    400,
+                    error_response(None, BadRequestError("malformed request")).to_dict(),
+                    keep_alive=False,
+                ))
+                await writer.drain()
+                return
+            if parsed is None:
+                return
+            method, path, body = parsed
+            keep_alive = not method.startswith("!")
+            method = method.lstrip("!")
+            status, doc = await _route(service, method, path, body)
+            writer.write(_encode(status, doc, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _route(
+    service: SolverService, method: str, path: str, body: bytes
+) -> Tuple[int, Dict[str, Any]]:
+    path = path.split("?", 1)[0]
+    if path == "/healthz":
+        if method != "GET":
+            return 405, {"error": {"code": "method_not_allowed"}}
+        return 200, {"status": "ok", "accepting": service.snapshot()["accepting"]}
+    if path == "/stats":
+        if method != "GET":
+            return 405, {"error": {"code": "method_not_allowed"}}
+        return 200, service.snapshot()
+    if path == "/solve":
+        if method != "POST":
+            return 405, {"error": {"code": "method_not_allowed"}}
+        try:
+            doc = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            err = BadRequestError(f"invalid JSON body: {exc}")
+            return err.http_status, error_response(None, err).to_dict()
+        response = await service.handle(doc)
+        status = 200
+        if response.error is not None:
+            error: ServiceError = response.error
+            status = error.http_status
+        return status, response.to_dict()
+    return 404, {"error": {"code": "not_found", "message": path}}
+
+
+async def start_http_server(
+    service: SolverService, host: str = "127.0.0.1", port: int = 8787
+):
+    """Bind the HTTP front end; returns the ``asyncio.AbstractServer``.
+
+    The caller owns both lifetimes: ``server.close()`` first, then
+    ``await service.close()`` to drain.  Pass ``port=0`` for an ephemeral
+    port (tests); the bound address is ``server.sockets[0].getsockname()``.
+    """
+
+    async def _client(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(_client, host=host, port=port)

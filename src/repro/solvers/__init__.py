@@ -29,6 +29,7 @@ from .report import SolveReport, report_from_dict, report_to_dict
 # it must happen before the facade is usable
 from .adapters import DEFAULT_ALGORITHM, MINMEMORY_SOLVERS  # noqa: E402
 from .engine import (  # noqa: E402
+    EngineStoppedError,
     SolveEngine,
     get_engine,
     shutdown_engine,
@@ -61,6 +62,7 @@ __all__ = [
     "DEFAULT_COMPARE_ALGORITHMS",
     "MINMEMORY_SOLVERS",
     "POOL_MODES",
+    "EngineStoppedError",
     "SolveEngine",
     "get_engine",
     "shutdown_engine",

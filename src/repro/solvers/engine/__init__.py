@@ -14,16 +14,24 @@ routes through the process-wide engine from :func:`get_engine`;
 ``pool="serial"`` forces in-process execution.  :func:`shutdown_engine`
 releases the workers and the shared segments explicitly (also registered
 ``atexit``).
+
+The service daemon (:mod:`repro.service`) uses the asynchronous seam
+instead: :meth:`SolveEngine.submit` hands back one future per request, and
+the engine's stop flag (:meth:`SolveEngine.stop` /
+:class:`EngineStoppedError`) lets a draining daemon reject new work while
+in-flight requests finish.  Engines are context managers (``with
+SolveEngine() as eng:``), and ``shutdown`` is idempotent.
 """
 
 from .arena import TreeArena, TreeRef, resolve, worker_cache_info
-from .dispatch import SolveEngine, get_engine, shutdown_engine
+from .dispatch import EngineStoppedError, SolveEngine, get_engine, shutdown_engine
 from .pool import PersistentPool
 
 __all__ = [
     "TreeArena",
     "TreeRef",
     "PersistentPool",
+    "EngineStoppedError",
     "SolveEngine",
     "get_engine",
     "shutdown_engine",

@@ -27,7 +27,18 @@ from ..report import SolveReport
 from .arena import TreeArena, TreeRef, resolve
 from .pool import PersistentPool
 
-__all__ = ["SolveEngine", "get_engine", "shutdown_engine"]
+__all__ = ["EngineStoppedError", "SolveEngine", "get_engine", "shutdown_engine"]
+
+
+class EngineStoppedError(RuntimeError):
+    """Raised when work is submitted to an engine whose stop flag is set.
+
+    The stop flag (:meth:`SolveEngine.stop`) is the drain signal of the
+    service layer: once set, new batches and submissions fail fast with this
+    typed error instead of quietly queueing behind a shutdown, while work
+    already on the pool runs to completion.  :meth:`SolveEngine.shutdown`
+    clears the flag, so an engine remains reusable after a full drain.
+    """
 
 #: payloads per executor message: large enough to amortize IPC, small enough
 #: to keep every worker busy (at least ~4 chunks per worker per batch)
@@ -67,6 +78,37 @@ class SolveEngine:
         self.pool = PersistentPool()
         self._lock = threading.Lock()
         self._warned_unavailable = False
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle: context manager, stop flag
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SolveEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    @property
+    def stopping(self) -> bool:
+        """True between :meth:`stop` and the next :meth:`shutdown`."""
+        return self._stopping.is_set()
+
+    def stop(self) -> None:
+        """Set the stop flag: new submissions raise :class:`EngineStoppedError`.
+
+        Work already accepted keeps running -- this is the first half of a
+        graceful drain (reject new, finish old); :meth:`shutdown` is the
+        second half and clears the flag again.
+        """
+        self._stopping.set()
+
+    def _check_stopped(self) -> None:
+        if self._stopping.is_set():
+            raise EngineStoppedError(
+                "solve engine is stopping; no new work is accepted until "
+                "shutdown() completes"
+            )
 
     # ------------------------------------------------------------------
     def run_batch(
@@ -85,6 +127,7 @@ class SolveEngine:
         parent feeds and drains the pipes), while heavier oversubscription
         only adds scheduler churn.
         """
+        self._check_stopped()
         cores = os.cpu_count() or 1
         workers = max(1, min(workers, len(cells), 2 * cores))
         with self._lock:
@@ -148,11 +191,65 @@ class SolveEngine:
             )
             return None
 
+    def submit(self, cell: Cell, workers: int):
+        """Submit one cell asynchronously; a Future, or ``None`` = "go serial".
+
+        This is the service daemon's seam into the engine: where
+        :meth:`run_batch` blocks on a whole campaign grid, ``submit`` hands
+        back a :class:`concurrent.futures.Future` per request, so an asyncio
+        front end can interleave admission, dispatch and completion.  The
+        tree is interned in the shared arena exactly as in the batch path
+        (idempotent per kernel: a request stream hitting the same tree ships
+        it to the workers once).  ``None`` means the platform cannot run
+        subprocesses -- callers fall back to in-process execution; the
+        engine's stop flag raises :class:`EngineStoppedError` instead, so a
+        draining daemon never quietly enqueues new work.
+
+        Unlike :meth:`run_batch`, infrastructure failures surface on the
+        *returned future* (e.g. ``BrokenProcessPool``), because by then the
+        caller has moved on; callers owning a fallback executor should
+        re-run the cell there.
+        """
+        self._check_stopped()
+        cores = os.cpu_count() or 1
+        workers = max(1, min(workers, 2 * cores))
+        with self._lock:
+            executor = self.pool.ensure(workers)
+            if executor is None:
+                if not self._warned_unavailable:
+                    self._warned_unavailable = True
+                    warnings.warn(
+                        "solve engine: this platform cannot spawn worker "
+                        "processes; submissions run in-process (warned once "
+                        "per engine)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                return None
+            tree, algorithm, memory, options = cell
+            payload = (self.arena.export(tree), algorithm, memory, options)
+        try:
+            return executor.submit(_solve_payload, payload)
+        except RuntimeError:
+            # a concurrent caller grew the pool between ensure() and
+            # submit(): retry once on the replacement (see run_batch)
+            with self._lock:
+                current = self.pool.executor
+            if current is None or current is executor:
+                raise
+            return current.submit(_solve_payload, payload)
+
     def shutdown(self) -> None:
-        """Terminate the workers and unlink every shared-memory segment."""
+        """Terminate the workers and unlink every shared-memory segment.
+
+        Idempotent, and clears the stop flag on the way out: an engine can
+        be shut down any number of times, and after a ``stop(); shutdown()``
+        drain it accepts work again (a fresh pool builds on demand).
+        """
         with self._lock:
             self.pool.shutdown()
             self.arena.close()
+            self._stopping.clear()
 
 
 # ----------------------------------------------------------------------

@@ -126,3 +126,63 @@ class TestPipelineCommand:
         assert main(["pipeline", "--mtx", str(rect)]) == 1
         err = capsys.readouterr().err
         assert "error" in err and "square" in err
+
+
+class TestServeCommand:
+    def test_requires_a_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_stdio_and_port_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--stdio", "--port", "0"])
+
+    def test_bad_max_pending_rejected(self, capsys):
+        assert main(["serve", "--stdio", "--max-pending", "0"]) == 2
+        assert "max-pending" in capsys.readouterr().err
+
+    def test_stdio_serves_ndjson_requests(self, monkeypatch, capsys):
+        import io
+
+        lines = "\n".join([
+            json.dumps({"id": "a",
+                        "tree": {"parents": [-1, 0, 0], "f": [0, 2, 3]},
+                        "algorithm": "minmem"}),
+            json.dumps({"op": "stats"}),
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--stdio", "--pool", "serial"]) == 0
+        captured = capsys.readouterr()
+        docs = [json.loads(line) for line in captured.out.strip().splitlines()]
+        by_kind = {("stats" if "op" in d else d.get("id")): d for d in docs}
+        assert by_kind["a"]["status"] == "ok"
+        assert by_kind["stats"]["stats"]["accepted"] == 1
+        assert "served 1 requests" in captured.err
+
+
+class TestTrafficBenchCommand:
+    def test_list_traffic_scenarios(self, capsys):
+        assert main(["bench", "--traffic", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "service_open_smoke" in out and "service_burst_open" in out
+
+    def test_unmatched_filter_fails(self, capsys):
+        assert main(["bench", "--traffic", "--filter", "zzz"]) == 2
+        assert "no traffic scenario" in capsys.readouterr().err
+
+    def test_fresh_pool_rejected_for_traffic(self, capsys):
+        assert main(["bench", "--traffic", "--smoke", "--pool", "fresh"]) == 2
+        assert "no 'fresh' pool" in capsys.readouterr().err
+
+    def test_smoke_traffic_run_and_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_traffic.json"
+        assert main(["bench", "--traffic", "--smoke", "--pool", "serial",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario/cell" in out
+        assert "service_open_smoke/poisson-r25" in out
+        document = json.loads(out_path.read_text())
+        (record,) = document["records"]
+        assert record["extras"]["rejected"] == 0
+        assert record["extras"]["deadline_missed"] == 0
+        assert record["extras"]["latency_p99"] > 0

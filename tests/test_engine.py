@@ -346,3 +346,67 @@ class TestChunking:
         assert _compute_chunksize(10, 4) == 1
         assert _compute_chunksize(640, 4) == 40
         assert _compute_chunksize(100_000, 4) == 64  # capped
+
+
+class TestLifecycle:
+    """Context-manager support, the stop flag and idempotent shutdown."""
+
+    def test_context_manager_shuts_down(self):
+        with SolveEngine() as engine:
+            tree = chain_tree(12, f=2.0, n=1.0)
+            if engine.pool.ensure(2) is not None:
+                batch = engine.run_batch([(tree, "minmem", None, {})], 2)
+                assert batch == [_solve_task((tree, "minmem", None, {}))]
+        assert engine.pool.executor is None
+        assert engine.arena.live_segments == ()
+
+    def test_stop_flag_rejects_new_work_until_shutdown(self):
+        from repro.solvers.engine import EngineStoppedError
+
+        engine = SolveEngine()
+        try:
+            tree = chain_tree(8)
+            engine.stop()
+            assert engine.stopping
+            with pytest.raises(EngineStoppedError, match="stopping"):
+                engine.run_batch([(tree, "minmem", None, {})], 2)
+            with pytest.raises(EngineStoppedError, match="stopping"):
+                engine.submit((tree, "minmem", None, {}), 2)
+            # shutdown completes the drain and clears the flag: the engine
+            # accepts work again on a fresh pool
+            engine.shutdown()
+            assert not engine.stopping
+            result = engine.run_batch([(tree, "minmem", None, {})], 2)
+            if result is not None:  # platform-dependent; None = serial
+                assert result == [_solve_task((tree, "minmem", None, {}))]
+        finally:
+            engine.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        engine = SolveEngine()
+        engine.pool.ensure(2)
+        engine.shutdown()
+        engine.shutdown()  # second shutdown: no error, still clean
+        assert engine.pool.executor is None
+        # the process-wide default engine behaves the same
+        get_engine()
+        shutdown_engine()
+        shutdown_engine()
+
+    def test_submit_future_matches_serial(self):
+        engine = SolveEngine()
+        try:
+            if engine.pool.ensure(2) is None:
+                pytest.skip("platform cannot spawn worker processes")
+            tree = random_attachment_tree(60, seed=5)
+            cell = (tree, "minmem", None, {})
+            future = engine.submit(cell, 2)
+            assert future is not None
+            assert future.result(timeout=60) == _solve_task(cell)
+            # same tree, second submission: the arena ships nothing new
+            exported = engine.arena.live_segments
+            future2 = engine.submit((tree, "liu", None, {}), 2)
+            assert future2.result(timeout=60) == _solve_task((tree, "liu", None, {}))
+            assert engine.arena.live_segments == exported
+        finally:
+            engine.shutdown()

@@ -1,0 +1,511 @@
+"""Tests for the solver service daemon (repro.service)."""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.core.builders import chain_tree
+from repro.core.kernel import TreeKernel
+from repro.core.serialize import tree_to_dict
+from repro.core.traversal import BOTTOMUP, Traversal
+from repro.solvers import SolveReport, register_solver, solve
+from repro.service import (
+    BadRequestError,
+    DeadlineError,
+    QueueFullError,
+    ServiceClosedError,
+    SolverService,
+    TreeInterner,
+    UnknownTreeTokenError,
+    error_from_dict,
+    parse_request,
+    serve_stdio,
+    start_http_server,
+    tree_payload_token,
+)
+from repro.service.errors import SolverFailedError
+
+
+def run(coro):
+    """Drive one async test body (the suite has no asyncio plugin)."""
+    return asyncio.run(coro)
+
+
+PARENTS = {"parents": [-1, 0, 0, 1, 1], "f": [0.0, 2.0, 3.0, 1.0, 2.0],
+           "n": [1.0, 2.0, 1.0, 1.0, 3.0]}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _sleepy_solver():
+    # registered at fixture time (never at import), so parametrized tests
+    # that enumerate list_solvers() at collection never see it
+    @register_solver("svc_sleepy", family="test", summary="sleeps then answers")
+    def _sleepy(tree, *, seconds=0.2, **_ignored):
+        time.sleep(float(seconds))
+        root = tree.ids[0] if isinstance(tree, TreeKernel) else tree.root
+        return SolveReport(
+            algorithm="svc_sleepy",
+            peak_memory=1.0,
+            traversal=Traversal((root,), BOTTOMUP),
+        )
+
+    yield
+
+
+# ----------------------------------------------------------------------
+# protocol: tokens, interner, request parsing
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_token_is_content_addressed(self):
+        assert tree_payload_token(PARENTS) == tree_payload_token(dict(PARENTS))
+        other = dict(PARENTS, f=[0.0, 2.0, 3.0, 1.0, 2.5])
+        assert tree_payload_token(other) != tree_payload_token(PARENTS)
+        assert tree_payload_token(PARENTS).startswith("t-")
+
+    def test_parse_request_builds_tree_and_canonicalises(self):
+        interner = TreeInterner()
+        request = parse_request(
+            {"tree": PARENTS, "algorithm": "MinMem", "memory": 12,
+             "options": {"engine": "kernel"}},
+            interner,
+        )
+        assert request.algorithm == "minmem"  # canonical registry name
+        assert request.memory == 12.0
+        assert request.tree.size == 5
+        assert request.tree_token == tree_payload_token(PARENTS)
+        assert request.id.startswith("req-")
+
+    def test_parse_request_accepts_stored_tree_documents(self):
+        interner = TreeInterner()
+        doc = {"tree": tree_to_dict(chain_tree(6, f=2.0, n=1.0))}
+        request = parse_request(doc, interner)
+        assert request.tree.size == 6
+
+    def test_parse_request_accepts_unordered_parent_arrays(self):
+        interner = TreeInterner()
+        # root last: the topological fast path must hand over to the
+        # validating builder instead of rejecting the request
+        request = parse_request(
+            {"tree": {"parents": [2, 2, -1], "f": [1.0, 2.0, 0.0]}}, interner
+        )
+        assert request.tree.size == 3
+
+    @pytest.mark.parametrize("doc,match", [
+        ("not a dict", "JSON object"),
+        ({}, "'tree'"),
+        ({"tree": {"parents": []}}, "non-empty"),
+        ({"tree": {"parents": [-1, 0], "f": [1.0]}}, "entries"),
+        ({"tree": {"wrong": 1}}, "parents"),
+        ({"tree": PARENTS, "id": ""}, "non-empty string"),
+        ({"tree": PARENTS, "algorithm": "nope"}, "nope"),
+        ({"tree": PARENTS, "memory": "much"}, "number"),
+        ({"tree": PARENTS, "deadline": 0}, "> 0"),
+        ({"tree": PARENTS, "deadline": "soon"}, "number"),
+        ({"tree": PARENTS, "options": [1]}, "object"),
+        ({"tree": PARENTS, "options": {"pool": "persistent"}}, "reserved"),
+        ({"tree": PARENTS, "report": "verbose"}, "report"),
+    ])
+    def test_parse_request_rejects_malformed(self, doc, match):
+        with pytest.raises(BadRequestError, match=match):
+            parse_request(doc, TreeInterner())
+
+    def test_parse_request_applies_default_deadline(self):
+        interner = TreeInterner()
+        request = parse_request({"tree": PARENTS}, interner, default_deadline=2.5)
+        assert request.deadline == 2.5
+        explicit = parse_request(
+            {"tree": PARENTS, "deadline": 0.5}, interner, default_deadline=2.5
+        )
+        assert explicit.deadline == 0.5
+
+    def test_interner_lru_evicts_and_counts(self):
+        interner = TreeInterner(capacity=2)
+        token_a, tree_a = interner.intern(PARENTS)
+        token_b, _ = interner.intern({"parents": [-1, 0], "f": [0.0, 1.0]})
+        assert interner.misses == 2
+        # re-intern a: a hit, and it becomes most-recently-used
+        token_a2, tree_a2 = interner.intern(PARENTS)
+        assert (token_a2, tree_a2) == (token_a, tree_a)
+        assert interner.hits == 1
+        # third distinct payload evicts b (least recently used)
+        interner.intern({"parents": [-1, 0, 1], "f": [0.0, 1.0, 2.0]})
+        assert len(interner) == 2
+        assert interner.lookup(token_a) is tree_a
+        with pytest.raises(UnknownTreeTokenError, match="re-send"):
+            interner.lookup(token_b)
+
+    def test_error_from_dict_round_trips_types(self):
+        for error in (QueueFullError("full"), ServiceClosedError("bye"),
+                      BadRequestError("bad"), SolverFailedError("boom")):
+            rebuilt = error_from_dict(error.to_dict())
+            assert type(rebuilt) is type(error)
+            assert str(rebuilt) == str(error)
+        deadline = error_from_dict(
+            DeadlineError("late", stage="executing").to_dict()
+        )
+        assert isinstance(deadline, DeadlineError)
+        assert deadline.stage == "executing"
+
+
+# ----------------------------------------------------------------------
+# the daemon core
+# ----------------------------------------------------------------------
+class TestDaemon:
+    def test_ok_path_matches_direct_solve(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                response = await svc.handle(
+                    {"tree": PARENTS, "algorithm": "minmem"}
+                )
+                assert response.ok
+                assert response.total_seconds >= response.solve_seconds
+                return response.report
+
+        report = run(body())
+        from repro.core.tree import Tree
+
+        direct = solve(
+            Tree.from_parents(PARENTS["parents"], f=PARENTS["f"], n=PARENTS["n"]),
+            "minmem",
+        )
+        assert report == direct
+
+    def test_token_reuse_and_report_modes(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                full = await svc.handle({"tree": PARENTS, "report": "full"})
+                token = full.tree_token
+                summary = await svc.handle(
+                    {"tree": {"token": token}, "report": "summary"}
+                )
+                none = await svc.handle(
+                    {"tree": {"token": token}, "report": "none"}
+                )
+                unknown = await svc.handle({"tree": {"token": "t-feedfacedeadbeef"}})
+                return full, summary, none, unknown, svc.snapshot()
+
+        full, summary, none, unknown, snap = run(body())
+        assert "traversal" in full.to_dict()["report"]
+        assert "traversal" not in summary.to_dict()["report"]
+        assert summary.to_dict()["report"]["peak_memory"] == full.report.peak_memory
+        assert "report" not in none.to_dict()
+        assert unknown.status == "unknown_tree_token"
+        assert snap["interned_trees"] == 1
+        assert snap["interner_hits"] == 2
+
+    def test_unknown_service_pool_mode_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="fresh"):
+            SolverService(pool="fresh")
+
+    def test_queue_full_rejects_synchronously(self):
+        async def body():
+            async with SolverService(
+                pool="serial", max_pending=2, max_inflight=1
+            ) as svc:
+                interner = svc.interner
+                doc = {"tree": PARENTS, "algorithm": "svc_sleepy",
+                       "options": {"seconds": 0.15}}
+                first = svc.submit_nowait(parse_request(dict(doc), interner))
+                second = svc.submit_nowait(parse_request(dict(doc), interner))
+                with pytest.raises(QueueFullError, match="retry"):
+                    svc.submit_nowait(parse_request(dict(doc), interner))
+                # the typed rejection also surfaces as a response document
+                rejected = await svc.handle(dict(doc))
+                assert rejected.status == "rejected"
+                assert rejected.error.http_status == 429
+                with pytest.raises(QueueFullError):
+                    rejected.raise_for_status()
+                results = await asyncio.gather(first, second)
+                assert [r.status for r in results] == ["ok", "ok"]
+                assert svc.stats.rejected == 2
+                assert svc.stats.completed == 2
+
+        run(body())
+
+    def test_queue_full_under_concurrent_submitters(self):
+        async def body():
+            async with SolverService(
+                pool="serial", max_pending=3, max_inflight=1
+            ) as svc:
+                doc = {"tree": PARENTS, "algorithm": "svc_sleepy",
+                       "options": {"seconds": 0.05}}
+                responses = await asyncio.gather(
+                    *(svc.handle(dict(doc)) for _ in range(8))
+                )
+                ok = [r for r in responses if r.ok]
+                rejected = [r for r in responses if r.status == "rejected"]
+                assert len(ok) + len(rejected) == 8
+                assert len(ok) == 3  # the admission bound, exactly
+                assert svc.stats.rejected == 5
+                assert svc.stats.max_queue_depth <= 3
+
+        run(body())
+
+    def test_deadline_expires_while_queued(self):
+        async def body():
+            async with SolverService(pool="serial", max_inflight=1) as svc:
+                interner = svc.interner
+                blocker = svc.submit_nowait(parse_request(
+                    {"tree": PARENTS, "algorithm": "svc_sleepy",
+                     "options": {"seconds": 0.3}}, interner))
+                doomed = svc.submit_nowait(parse_request(
+                    {"tree": PARENTS, "algorithm": "minmem", "deadline": 0.05},
+                    interner))
+                t0 = time.perf_counter()
+                response = await doomed
+                waited = time.perf_counter() - t0
+                assert response.status == "deadline"
+                assert response.error.stage == "queued"
+                assert response.solve_seconds == 0.0
+                # the response arrived at the deadline, not after the queue
+                assert waited < 0.25
+                await blocker
+                assert svc.stats.deadline_miss_queued == 1
+                assert svc.stats.deadline_miss_executing == 0
+
+        run(body())
+
+    def test_deadline_expires_while_executing(self):
+        async def body():
+            async with SolverService(pool="serial", max_inflight=1) as svc:
+                t0 = time.perf_counter()
+                response = await svc.handle(
+                    {"tree": PARENTS, "algorithm": "svc_sleepy",
+                     "deadline": 0.08, "options": {"seconds": 0.4}}
+                )
+                waited = time.perf_counter() - t0
+                assert response.status == "deadline"
+                assert response.error.stage == "executing"
+                assert response.solve_seconds > 0.0
+                assert waited < 0.35  # responded at the deadline, mid-solve
+                assert svc.stats.deadline_miss_executing == 1
+                with pytest.raises(DeadlineError):
+                    response.raise_for_status()
+
+        run(body())
+
+    def test_close_drains_admitted_requests(self):
+        async def body():
+            svc = await SolverService(pool="serial", max_inflight=1).start()
+            futures = [
+                svc.submit_nowait(parse_request({"tree": PARENTS}, svc.interner))
+                for _ in range(4)
+            ]
+            await svc.close()  # drain=True: every admitted request answers
+            responses = [f.result() for f in futures]
+            assert all(r.ok for r in responses)
+            assert svc.stats.completed == 4
+            with pytest.raises(ServiceClosedError):
+                svc.submit_nowait(parse_request({"tree": PARENTS}, svc.interner))
+            closed = await svc.handle({"tree": PARENTS})
+            assert closed.status == "closed"
+
+        run(body())
+
+    def test_close_abort_flushes_queue_with_typed_responses(self):
+        async def body():
+            svc = await SolverService(pool="serial", max_inflight=1).start()
+            doc = {"tree": PARENTS, "algorithm": "svc_sleepy",
+                   "options": {"seconds": 0.1}}
+            futures = [
+                svc.submit_nowait(parse_request(dict(doc), svc.interner))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.02)  # let the first reach the executor
+            await svc.close(drain=False)
+            statuses = [f.result().status for f in futures]
+            assert statuses[0] == "ok"  # already executing: runs out
+            assert statuses[1:] == ["closed", "closed"]
+            assert svc.stats.drained == 2
+
+        run(body())
+
+    def test_solver_failure_is_a_typed_response(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                response = await svc.handle(
+                    {"tree": PARENTS, "algorithm": "svc_sleepy",
+                     "options": {"seconds": "not-a-number"}}
+                )
+                assert response.status == "solver_error"
+                assert response.error.cause_type
+                assert svc.stats.solver_errors == 1
+
+        run(body())
+
+    def test_engine_backed_service_matches_serial_and_shuts_down(self):
+        async def body():
+            svc = SolverService(workers=2, pool="persistent")
+            async with svc:
+                assert svc._engine is not None
+                responses = await asyncio.gather(*(
+                    svc.handle({"tree": PARENTS, "algorithm": name})
+                    for name in ("minmem", "liu", "postorder")
+                ))
+                assert all(r.ok for r in responses)
+                reports = {r.algorithm: r.report for r in responses}
+            # drained close released the workers and the shared segments
+            assert svc._engine.pool.executor is None
+            return reports
+
+        reports = run(body())
+        from repro.core.tree import Tree
+
+        tree = Tree.from_parents(PARENTS["parents"], f=PARENTS["f"], n=PARENTS["n"])
+        for name, report in reports.items():
+            assert report == solve(tree, name)
+
+    def test_stats_snapshot_shape(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                await svc.handle({"tree": PARENTS})
+                return svc.snapshot()
+
+        snap = run(body())
+        for key in ("accepted", "completed", "rejected", "deadline_misses",
+                    "latency_seconds", "pending", "max_pending", "pool",
+                    "accepting"):
+            assert key in snap
+        assert snap["latency_seconds"]["p99"] >= snap["latency_seconds"]["p50"] >= 0
+
+
+# ----------------------------------------------------------------------
+# front ends
+# ----------------------------------------------------------------------
+class TestStdioFrontEnd:
+    def _drive(self, lines):
+        """Feed lines to serve_stdio; (response docs, final snapshot)."""
+        async def body():
+            feed = asyncio.Queue()
+            for line in lines:
+                await feed.put(line)
+            await feed.put(None)  # EOF
+            out = []
+
+            async def read_line():
+                return await feed.get()
+
+            async def write_line(text):
+                out.append(json.loads(text))
+
+            async with SolverService(pool="serial") as svc:
+                snapshot = await serve_stdio(svc, read_line, write_line)
+            return out, snapshot
+
+        return run(body())
+
+    def test_requests_stats_and_garbage(self):
+        out, snapshot = self._drive([
+            json.dumps({"id": "a", "tree": PARENTS, "algorithm": "minmem"}),
+            "",                      # blank lines are ignored
+            "{not json",
+            json.dumps({"op": "stats"}),
+            json.dumps({"id": "b", "tree": {"token": tree_payload_token(PARENTS)},
+                        "algorithm": "liu"}),
+        ])
+        by_id = {doc.get("id"): doc for doc in out if "op" not in doc}
+        assert by_id["a"]["status"] == "ok"
+        assert by_id["b"]["status"] == "ok"
+        garbage = [d for d in out if d.get("status") == "bad_request"]
+        assert len(garbage) == 1 and "JSON" in garbage[0]["error"]["message"]
+        stats_docs = [d for d in out if d.get("op") == "stats"]
+        assert len(stats_docs) == 1
+        assert snapshot["completed"] == 2
+        assert snapshot["bad_requests"] == 1
+
+    def test_shutdown_op_stops_reading(self):
+        out, snapshot = self._drive([
+            json.dumps({"id": "a", "tree": PARENTS}),
+            json.dumps({"op": "shutdown"}),
+            json.dumps({"id": "never", "tree": PARENTS}),
+        ])
+        ids = {doc.get("id") for doc in out}
+        assert "a" in ids and "never" not in ids
+        assert snapshot["accepted"] == 1
+
+
+class TestHttpFrontEnd:
+    @staticmethod
+    async def _request(host, port, method, path, body=None):
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = b"" if body is None else json.dumps(body).encode()
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nContent-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode().strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.lower()] = value.strip()
+        doc = json.loads(await reader.readexactly(int(headers["content-length"])))
+        writer.close()
+        return status, doc
+
+    def test_routes_and_status_mapping(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                server = await start_http_server(svc, port=0)
+                host, port = server.sockets[0].getsockname()[:2]
+                results = {}
+                results["ok"] = await self._request(
+                    host, port, "POST", "/solve",
+                    {"id": "h1", "tree": PARENTS, "algorithm": "minmem"})
+                results["bad"] = await self._request(
+                    host, port, "POST", "/solve", {"tree": {"parents": []}})
+                results["health"] = await self._request(host, port, "GET", "/healthz")
+                results["stats"] = await self._request(host, port, "GET", "/stats")
+                results["missing"] = await self._request(host, port, "GET", "/nope")
+                results["method"] = await self._request(host, port, "GET", "/solve")
+                server.close()
+                await server.wait_closed()
+                return results
+
+        results = run(body())
+        status, doc = results["ok"]
+        assert (status, doc["status"], doc["id"]) == (200, "ok", "h1")
+        assert results["bad"][0] == 400
+        assert results["health"] == (200, {"status": "ok", "accepting": True})
+        assert results["stats"][0] == 200
+        assert results["stats"][1]["completed"] == 1
+        assert results["missing"][0] == 404
+        assert results["method"][0] == 405
+
+    def test_keep_alive_serves_sequential_requests(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                server = await start_http_server(svc, port=0)
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(host, port)
+                for i in range(2):  # two requests, one connection
+                    payload = json.dumps(
+                        {"id": f"k{i}", "tree": PARENTS}).encode()
+                    writer.write(
+                        f"POST /solve HTTP/1.1\r\n"
+                        f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                        + payload
+                    )
+                    await writer.drain()
+                    status = int((await reader.readline()).split()[1])
+                    assert status == 200
+                    headers = {}
+                    while True:
+                        line = (await reader.readline()).decode().strip()
+                        if not line:
+                            break
+                        name, _, value = line.partition(":")
+                        headers[name.lower()] = value.strip()
+                    doc = json.loads(await reader.readexactly(
+                        int(headers["content-length"])))
+                    assert doc["id"] == f"k{i}"
+                writer.close()
+                server.close()
+                await server.wait_closed()
+
+        run(body())
