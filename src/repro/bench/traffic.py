@@ -41,8 +41,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import percentile
 from ..service import SolverService, serve_stdio, tree_payload_token
-from ..service.daemon import _percentile
 from .runner import BenchRecord, BenchRun
 from .scenarios import IN_CORE_ALGORITHMS, _service_traffic
 
@@ -314,9 +314,9 @@ class CellOutcome:
     def percentiles(self) -> Dict[str, float]:
         ordered = sorted(self.latencies)
         return {
-            "p50": _percentile(ordered, 50.0),
-            "p95": _percentile(ordered, 95.0),
-            "p99": _percentile(ordered, 99.0),
+            "p50": percentile(ordered, 50.0),
+            "p95": percentile(ordered, 95.0),
+            "p99": percentile(ordered, 99.0),
         }
 
     @property

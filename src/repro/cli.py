@@ -26,7 +26,12 @@
 * ``repro-treemem serve --stdio | --port N`` -- run the solver service
   daemon (see :mod:`repro.service`): NDJSON on stdin/stdout or HTTP/JSON on
   a socket, backed by the persistent engine with admission control and
-  per-request deadlines.
+  per-request deadlines; ``--log-level``/``--log-json`` configure the
+  structured log stream, and a live daemon serves Prometheus metrics on
+  ``GET /metrics`` (HTTP) or ``{"op": "metrics"}`` (stdio);
+* ``repro-treemem report [ARTIFACTS...] --output report.html`` -- render
+  committed ``BENCH_*.json`` artifacts into the static HTML trajectory
+  dashboard (see :mod:`repro.obs.report`).
 
 Every subcommand dispatches through the :mod:`repro.solvers` registry, so
 solvers registered by third-party code (imported before :func:`main` runs)
@@ -235,6 +240,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "not carry one (default: none)")
     p_serve.add_argument("--engine", choices=("kernel", "reference"), default=None,
                          help="execution engine forwarded to every solve")
+    from .obs import LOG_LEVELS
+
+    p_serve.add_argument("--log-level", choices=LOG_LEVELS, default="info",
+                         help="structured log threshold on stderr "
+                              "(default: info)")
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="emit log lines as JSON objects instead of "
+                              "key=value text")
+
+    p_report = sub.add_parser(
+        "report",
+        help="render BENCH_*.json artifacts into a static HTML dashboard",
+    )
+    p_report.add_argument("artifacts", nargs="*", type=Path,
+                          help="artifact files (default: BENCH_*.json in "
+                               "the current directory)")
+    p_report.add_argument("--output", type=Path, default=Path("report.html"),
+                          metavar="PATH",
+                          help="dashboard output path (default: report.html)")
     return parser
 
 
@@ -259,6 +283,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "report":
+            return _cmd_report(args)
     except UnknownSolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -560,12 +586,38 @@ def _cmd_bench_traffic(args: argparse.Namespace, bench) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """The ``report`` subcommand: artifacts -> static HTML dashboard."""
+    from .obs.report import write_dashboard
+
+    paths = list(args.artifacts)
+    if not paths:
+        paths = sorted(Path.cwd().glob("BENCH_*.json"))
+    if not paths:
+        print("error: no BENCH_*.json artifacts found (pass paths or run "
+              "from a directory containing them)", file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not Path(p).is_file()]
+    if missing:
+        print(f"error: artifact not found: {missing[0]}", file=sys.stderr)
+        return 2
+    try:
+        output = write_dashboard(paths, args.output)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote dashboard over {len(paths)} artifact(s) to {output}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: run the daemon until EOF or interrupt."""
     import asyncio
 
+    from .obs import configure_logging
     from .service import SolverService, run_stdio_server, start_http_server
 
+    configure_logging(args.log_level, json_lines=args.log_json)
     solver_options = {} if args.engine is None else {"engine": args.engine}
     if args.max_pending < 1:
         print("error: --max-pending must be >= 1", file=sys.stderr)

@@ -1,0 +1,73 @@
+"""``repro.obs`` -- the observability layer: metrics, tracing, logs, reports.
+
+One subsystem, four concerns, shared by every layer of the repo:
+
+* :mod:`repro.obs.metrics` -- counters, gauges and **fixed-bucket mergeable
+  streaming histograms** (bounded memory, quantiles that keep tracking the
+  live distribution at any volume), plus the exact list-based
+  :func:`percentile` helper;
+* :mod:`repro.obs.tracing` -- :class:`SpanTimeline`, the per-request stage
+  timeline the service daemon threads through
+  accept -> admit -> intern -> dispatch -> engine -> solve -> report;
+* :mod:`repro.obs.structlog` -- structured stdlib logging (key=value or
+  JSON lines) with per-subsystem ``repro.*`` loggers;
+* :mod:`repro.obs.exposition` -- Prometheus text rendering of a
+  :class:`MetricsRegistry` (served by ``GET /metrics`` and the stdio
+  ``op: metrics``);
+* :mod:`repro.obs.report` -- the static HTML dashboard renderer over the
+  committed ``BENCH_*.json`` trajectory (the ``repro-treemem report``
+  subcommand; imported lazily, it needs nothing beyond the stdlib).
+
+The design bias is *bounded state and one source of truth*: live metric
+objects (the service's latency histograms, the engine's counters) are
+attached to a registry at scrape time rather than mirrored into one.
+"""
+
+from .exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_bounds,
+    exponential_bounds,
+    percentile,
+)
+from .structlog import (
+    LOG_LEVELS,
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from .tracing import REQUEST_STAGES, SpanTimeline
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "default_latency_bounds",
+    "exponential_bounds",
+    # exposition
+    "render_prometheus",
+    "parse_exposition",
+    "PROMETHEUS_CONTENT_TYPE",
+    # tracing
+    "SpanTimeline",
+    "REQUEST_STAGES",
+    # logging
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "KeyValueFormatter",
+    "JsonFormatter",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,198 @@
+"""Prometheus text exposition (format version 0.0.4) for a registry.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the plain-text scrape format Prometheus and its ecosystem understand:
+
+* one ``# HELP`` / ``# TYPE`` pair per metric family, samples after;
+* label values escaped (``\\``, ``"`` and newlines);
+* histograms rendered as cumulative ``_bucket{le="..."}`` series ending at
+  ``le="+Inf"``, plus ``_sum`` and ``_count``.
+
+The renderer is intentionally standalone -- the HTTP front end serves it
+under ``GET /metrics`` and the stdio front end under ``op: metrics``, but
+anything holding a registry can render (tests validate well-formedness by
+parsing this output back).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "parse_exposition", "PROMETHEUS_CONTENT_TYPE"]
+
+#: the Content-Type of the text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    return f"{bound:.12g}"
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    name: str, labels: Dict[str, str], histogram: Histogram
+) -> List[str]:
+    lines = []
+    for bound, cumulative in histogram.cumulative_buckets():
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = _format_bound(bound)
+        lines.append(
+            f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+        )
+    lines.append(f"{name}_sum{_labels_text(labels)} {_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{_labels_text(labels)} {histogram.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text format (trailing newline included)."""
+    lines: List[str] = []
+    for name, help_text, kind, children in registry.collect():
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, metric in children:
+            if kind == "histogram":
+                lines.extend(_histogram_lines(name, labels, metric))
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text back into ``{family: {...}}`` (validation aid).
+
+    Not a full openmetrics parser -- just enough structure for tests and the
+    CI well-formedness gate: per family the declared ``type``, ``help`` and
+    the list of ``(sample_name, labels, value)`` triples, in order.  Raises
+    :class:`ValueError` on malformed lines, duplicate TYPE declarations, or
+    samples appearing before their family's TYPE line.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and base in families and families[base]["type"] == "histogram":
+                return base
+        return sample_name
+
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"help": None, "type": None, "samples": []})
+            families[name]["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+            entry = families.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            if entry["type"] is not None:
+                raise ValueError(f"duplicate TYPE declaration for {name!r}")
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        # a sample line: name{labels} value
+        brace = line.find("{")
+        labels: Dict[str, str] = {}
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"malformed sample line {line!r}")
+            sample_name = line[:brace]
+            label_text = line[brace + 1 : close]
+            value_text = line[close + 1 :].strip()
+            for part in filter(None, _split_labels(label_text)):
+                label_name, _, label_value = part.partition("=")
+                if not label_value.startswith('"') or not label_value.endswith('"'):
+                    raise ValueError(f"unquoted label value in {line!r}")
+                labels[label_name] = (
+                    label_value[1:-1]
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+        else:
+            sample_name, _, value_text = line.partition(" ")
+        base = family_of(sample_name)
+        if base not in families or families[base]["type"] is None:
+            raise ValueError(f"sample {sample_name!r} precedes its TYPE line")
+        value = float(value_text)
+        families[base]["samples"].append((sample_name, labels, value))
+    return families
+
+
+def _split_labels(label_text: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    parts: List[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for ch in label_text:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts

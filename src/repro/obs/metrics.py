@@ -1,0 +1,376 @@
+"""Metrics core: counters, gauges and mergeable streaming histograms.
+
+The service layer used to keep *raw latency lists* capped at a sample count
+-- once the cap was hit, every later request was dropped from the
+percentiles, which therefore silently froze on exactly the long-running
+deployments that need them.  This module replaces that with the standard
+production design:
+
+* :class:`Counter` / :class:`Gauge` -- monotone and instantaneous scalars;
+* :class:`Histogram` -- a **fixed-bucket** latency histogram: a static,
+  exponentially-spaced bound ladder, one integer per bucket, plus running
+  ``count`` / ``sum`` / ``min`` / ``max``.  Memory is bounded by the bucket
+  count (not the observation count), quantiles stream (every observation
+  keeps counting forever), and two histograms over the same ladder
+  :meth:`~Histogram.merge` exactly -- the property that lets per-worker or
+  per-cell histograms aggregate into one service-wide view;
+* :class:`MetricsRegistry` -- a named collection of metric families (with
+  optional labels) that :mod:`repro.obs.exposition` renders as Prometheus
+  text format;
+* :func:`percentile` -- the exact list-based linear-interpolation
+  percentile, promoted here from ``service.daemon`` so the bench traffic
+  client (which keeps its raw per-request list) and the tests share one
+  implementation instead of importing a private helper.
+
+Quantiles from a histogram are *approximate*: exact bucket identification,
+linear interpolation inside the bucket, clamped to the observed min/max.
+With the default latency ladder (12 buckets per decade) the relative error
+is bounded by the bucket width, about 21% worst-case and far better in
+practice -- and unlike the frozen-list design the estimate keeps tracking
+the live distribution at any request volume.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "percentile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_bounds",
+    "exponential_bounds",
+]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending sequence (q in 0..100).
+
+    The exact small-sample estimator (numpy's default ``linear`` method):
+    rank ``q/100 * (n-1)`` interpolated between its neighbours.  Callers
+    keeping raw sample lists (the traffic load generator) use this; callers
+    with bounded memory use :class:`Histogram` instead.
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+def exponential_bounds(
+    start: float, stop: float, *, per_decade: int = 12
+) -> Tuple[float, ...]:
+    """Exponentially-spaced bucket upper bounds from ``start`` to >= ``stop``.
+
+    ``per_decade`` buckets per factor-of-10 bounds the relative quantile
+    error at roughly ``10**(1/per_decade) - 1`` (about 21% at the default
+    12), independent of how many observations stream in.
+    """
+    if start <= 0 or stop <= start:
+        raise ValueError("need 0 < start < stop")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    decades = math.log10(stop / start)
+    steps = int(math.ceil(decades * per_decade))
+    bounds = [start * 10.0 ** (i / per_decade) for i in range(steps + 1)]
+    # regenerate through round() so equal exponents give identical floats
+    return tuple(round(b, 12 - int(math.floor(math.log10(abs(b))))) for b in bounds)
+
+
+#: the default latency ladder: 10 microseconds to 100 seconds
+_DEFAULT_LATENCY_BOUNDS = exponential_bounds(1e-5, 100.0, per_decade=12)
+
+
+def default_latency_bounds() -> Tuple[float, ...]:
+    """The shared latency bucket ladder (10us .. 100s, 12 buckets/decade)."""
+    return _DEFAULT_LATENCY_BOUNDS
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._value:g})"
+
+
+class Gauge:
+    """An instantaneous scalar that can move both ways."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._value = float(value)
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self._value:g})"
+
+
+class Histogram:
+    """Fixed-bucket streaming histogram with mergeable counts.
+
+    Buckets follow the Prometheus convention: ``bounds`` are the inclusive
+    upper bounds (``value <= bound`` lands in that bucket), plus one
+    implicit overflow bucket for everything beyond the last bound.  The
+    structure is *bounded*: however many observations stream in, the state
+    is ``len(bounds) + 1`` integers plus four scalars.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        if bounds is None:
+            bounds = default_latency_bounds()
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        # observe() is called from watchdog callbacks and executor threads;
+        # the lock keeps count/sum/buckets mutually consistent
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation (streaming; never drops a sample)."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram (same ladder)."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket ladders "
+                f"({len(self.bounds)} vs {len(other.bounds)} bounds)"
+            )
+        with self._lock:
+            for i, c in enumerate(other.counts):
+                self.counts[i] += c
+            self.count += other.count
+            self.sum += other.sum
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (q in 0..100) of the observed stream.
+
+        Exact bucket, linear interpolation within it, clamped to the
+        observed ``[min, max]`` -- so a single-sample histogram returns the
+        sample exactly, and no estimate ever leaves the observed range.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 100:
+            return self.max
+        target = (q / 100.0) * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else min(self.min, self.bounds[0])
+                upper = self.bounds[index] if index < len(self.bounds) else self.max
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return max(self.min, min(self.max, estimate))
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - cumulative always reaches count
+
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the requested qs."""
+        return {f"p{q:g}": self.quantile(q) for q in qs}
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            out.append((bound, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.sum:g}, "
+            f"buckets={len(self.bounds) + 1})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricsRegistry:
+    """A named, ordered collection of metric families.
+
+    Each *family* is one metric name with a help string and a kind; it holds
+    one child per distinct label set (possibly the empty label set).  The
+    registry is deliberately storage-agnostic: callers may create fresh
+    metrics through :meth:`counter` / :meth:`gauge` / :meth:`histogram`, or
+    :meth:`attach` live metric objects they already maintain (the service
+    attaches its long-lived latency histograms at scrape time, so there is
+    exactly one source of truth).
+    """
+
+    def __init__(self) -> None:
+        # name -> (help, kind, [(labels tuple, metric), ...])
+        self._families: "Dict[str, Tuple[str, str, List[Tuple[Tuple[Tuple[str, str], ...], Any]]]]" = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        name: str,
+        help_text: str,
+        metric: Any,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Register a live metric object under ``name`` and return it."""
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        kind = getattr(metric, "kind", None)
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unsupported metric object {metric!r}")
+        label_items = tuple(
+            (str(k), str(v)) for k, v in sorted((labels or {}).items())
+        )
+        for label_name, _ in label_items:
+            if not _LABEL_NAME.match(label_name):
+                raise ValueError(f"invalid label name {label_name!r}")
+        family = self._families.get(name)
+        if family is None:
+            self._families[name] = (help_text, kind, [(label_items, metric)])
+            self._order.append(name)
+            return metric
+        help_known, kind_known, children = family
+        if kind_known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {kind_known}, "
+                f"cannot re-register as {kind}"
+            )
+        for existing_labels, _ in children:
+            if existing_labels == label_items:
+                raise ValueError(
+                    f"metric {name!r} with labels {dict(label_items)} is "
+                    "already registered"
+                )
+        children.append((label_items, metric))
+        return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        *,
+        labels: Optional[Dict[str, Any]] = None,
+        value: float = 0.0,
+    ) -> Counter:
+        """Create and register a :class:`Counter` (optionally pre-set)."""
+        return self.attach(name, help_text, Counter(value), labels)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        *,
+        labels: Optional[Dict[str, Any]] = None,
+        value: float = 0.0,
+    ) -> Gauge:
+        """Create and register a :class:`Gauge` (optionally pre-set)."""
+        return self.attach(name, help_text, Gauge(value), labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        *,
+        labels: Optional[Dict[str, Any]] = None,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Create and register a fresh :class:`Histogram`."""
+        return self.attach(name, help_text, Histogram(bounds), labels)
+
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+    ) -> Iterable[Tuple[str, str, str, List[Tuple[Dict[str, str], Any]]]]:
+        """Yield ``(name, help, kind, [(labels_dict, metric), ...])`` families."""
+        for name in self._order:
+            help_text, kind, children = self._families[name]
+            yield name, help_text, kind, [
+                (dict(labels), metric) for labels, metric in children
+            ]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families

@@ -1,0 +1,482 @@
+"""The BENCH trajectory dashboard: committed artifacts -> one static HTML page.
+
+``repro-treemem report`` renders the repository's committed ``BENCH_*.json``
+artifacts (the schema-v1 documents :mod:`repro.bench.artifact` writes) into a
+self-contained dashboard -- no JavaScript dependencies, no network, inline
+SVG -- suitable for committing next to the artifacts or uploading as a CI
+artifact.  Sections:
+
+* **headline tiles** -- artifact count, record volume, latest run's date and
+  campaign wall time;
+* **family timing trajectories** -- one sparkline per scenario family
+  showing the mean best-time across the artifact sequence (the de-emphasized
+  line + accent end-dot idiom: the trajectory is context, "now" is the datum);
+* **traffic latency ladder** -- p50/p95/p99 per load cell of the newest
+  traffic artifact, horizontal bars on a sequential blue ramp;
+* **optimality ratios** -- mean postorder-vs-optimal ratio per family from
+  the newest campaign artifact;
+* **artifact table** -- the inventory, newest first.
+
+Every chart carries ``<title>`` hover tooltips and a sibling ``<details>``
+table view, identity is never encoded by color alone, and the palette
+follows the repo's light/dark token sheet (``prefers-color-scheme`` plus a
+``data-theme`` override hook).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["load_artifacts", "render_dashboard", "write_dashboard"]
+
+#: ordinal blue ramp (light mode) for the p50 < p95 < p99 ladder
+_LADDER_LIGHT = ("#86b6ef", "#2a78d6", "#104281")
+#: same ladder re-stepped for the dark surface (never darker than step 600)
+_LADDER_DARK = ("#86b6ef", "#3987e5", "#184f95")
+
+
+# ----------------------------------------------------------------------
+# artifact loading
+# ----------------------------------------------------------------------
+def load_artifacts(paths: Sequence[Path]) -> List[Dict[str, Any]]:
+    """Parse artifact documents, oldest first; unreadable files raise."""
+    docs = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        if not isinstance(doc, dict) or "records" not in doc:
+            raise ValueError(f"{path}: not a BENCH artifact (no 'records')")
+        doc["_path"] = str(path)
+        doc["_name"] = Path(path).name
+        docs.append(doc)
+    docs.sort(key=lambda d: str(d.get("created_utc", "")))
+    return docs
+
+
+def _families(doc: Dict[str, Any]) -> List[str]:
+    return sorted({
+        str(r.get("family", "?")) for r in doc.get("records", ())
+    })
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.3g}s"
+
+
+def _esc(text: Any) -> str:
+    return html.escape(str(text), quote=True)
+
+
+# ----------------------------------------------------------------------
+# data shaping
+# ----------------------------------------------------------------------
+def _family_trajectories(
+    docs: Sequence[Dict[str, Any]],
+) -> Dict[str, List[Tuple[str, float]]]:
+    """family -> [(artifact name, mean best_time), ...] in artifact order."""
+    out: Dict[str, List[Tuple[str, float]]] = {}
+    for doc in docs:
+        per_family: Dict[str, List[float]] = {}
+        for record in doc.get("records", ()):
+            time = record.get("best_time")
+            if isinstance(time, (int, float)) and time >= 0:
+                per_family.setdefault(str(record.get("family", "?")), []).append(
+                    float(time)
+                )
+        for family, times in per_family.items():
+            out.setdefault(family, []).append((doc["_name"], _mean(times)))
+    return dict(sorted(out.items()))
+
+
+def _latest_traffic(
+    docs: Sequence[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    for doc in reversed(docs):
+        if any(
+            r.get("family") == "traffic" and isinstance(r.get("extras"), dict)
+            for r in doc.get("records", ())
+        ):
+            return doc
+    return None
+
+
+def _latest_ratios(
+    docs: Sequence[Dict[str, Any]],
+) -> Tuple[Optional[str], Dict[str, float]]:
+    """(artifact name, family -> mean optimality ratio) of the newest campaign."""
+    for doc in reversed(docs):
+        per_family: Dict[str, List[float]] = {}
+        for record in doc.get("records", ()):
+            ratio = record.get("optimality_ratio")
+            if isinstance(ratio, (int, float)) and ratio > 0:
+                per_family.setdefault(str(record.get("family", "?")), []).append(
+                    float(ratio)
+                )
+        if per_family:
+            return doc["_name"], {
+                family: _mean(values)
+                for family, values in sorted(per_family.items())
+            }
+    return None, {}
+
+
+# ----------------------------------------------------------------------
+# SVG pieces
+# ----------------------------------------------------------------------
+def _sparkline(
+    points: Sequence[Tuple[str, float]], width: int = 220, height: int = 44
+) -> str:
+    """De-emphasized trajectory line + accent end dot (inline SVG)."""
+    pad = 6
+    values = [value for _, value in points]
+    low, high = min(values), max(values)
+    span = (high - low) or max(high, 1e-12)
+
+    def xy(i: int, value: float) -> Tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / max(1, len(points) - 1))
+        y = height - pad - (height - 2 * pad) * ((value - low) / span)
+        return round(x, 1), round(y, 1)
+
+    coords = [xy(i, value) for i, (_, value) in enumerate(points)]
+    polyline = " ".join(f"{x},{y}" for x, y in coords)
+    end_x, end_y = coords[-1]
+    titles = "; ".join(
+        f"{name}: {_fmt_seconds(value)}" for name, value in points
+    )
+    line = ""
+    if len(coords) > 1:
+        line = (
+            f'<polyline points="{polyline}" fill="none" '
+            'stroke="var(--line-muted)" stroke-width="2" '
+            'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_esc(titles)}">'
+        f"<title>{_esc(titles)}</title>"
+        f"{line}"
+        f'<circle cx="{end_x}" cy="{end_y}" r="4" fill="var(--accent)"/>'
+        "</svg>"
+    )
+
+
+def _hbar_rounded(
+    x: float, y: float, width: float, height: float, fill: str, title: str
+) -> str:
+    """Horizontal bar anchored at the baseline, rounded only at the data end."""
+    r = min(4.0, width / 2.0, height / 2.0)
+    path = (
+        f"M{x},{y} h{max(0.0, width - r)} "
+        f"a{r},{r} 0 0 1 {r},{r} v{max(0.0, height - 2 * r)} "
+        f"a{r},{r} 0 0 1 -{r},{r} h-{max(0.0, width - r)} z"
+    )
+    return (
+        f'<path d="{path}" fill="{fill}"><title>{_esc(title)}</title></path>'
+    )
+
+
+def _latency_ladder(doc: Dict[str, Any]) -> Tuple[str, str]:
+    """(svg, table_html) of the p50/p95/p99 ladder per traffic cell."""
+    cells = []
+    for record in doc.get("records", ()):
+        extras = record.get("extras") or {}
+        if record.get("family") != "traffic" or "latency_p50" not in extras:
+            continue
+        cells.append((
+            f"{record.get('scenario', '?')}/{record.get('instance', '?')}",
+            float(extras["latency_p50"]),
+            float(extras.get("latency_p95", extras["latency_p50"])),
+            float(extras.get("latency_p99", extras["latency_p50"])),
+        ))
+    if not cells:
+        return "", ""
+    label_w, bar_h, gap, group_gap = 250, 10, 2, 14
+    chart_w = 760
+    plot_w = chart_w - label_w - 90
+    group_h = 3 * bar_h + 2 * gap
+    height = len(cells) * (group_h + group_gap) + 8
+    peak = max(p99 for _, _, _, p99 in cells) or 1e-12
+    parts = [
+        f'<svg class="chart" width="{chart_w}" height="{height}" '
+        f'viewBox="0 0 {chart_w} {height}" role="img" '
+        'aria-label="Latency percentiles per traffic cell">'
+    ]
+    rows = []
+    for index, (name, p50, p95, p99) in enumerate(cells):
+        top = 4 + index * (group_h + group_gap)
+        parts.append(
+            f'<text x="{label_w - 10}" y="{top + group_h / 2 + 4}" '
+            f'text-anchor="end" class="label">{_esc(name)}</text>'
+        )
+        for level, (quantile, value) in enumerate(
+            (("p50", p50), ("p95", p95), ("p99", p99))
+        ):
+            y = top + level * (bar_h + gap)
+            width = max(1.0, plot_w * value / peak)
+            parts.append(_hbar_rounded(
+                label_w, y, round(width, 1), bar_h,
+                f"var(--ladder-{level})",
+                f"{name} {quantile}: {_fmt_seconds(value)}",
+            ))
+        parts.append(
+            f'<text x="{label_w + max(1.0, plot_w * p99 / peak) + 8:.1f}" '
+            f'y="{top + group_h / 2 + 4}" class="value">'
+            f"{_esc(_fmt_seconds(p99))} p99</text>"
+        )
+        rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td>{_fmt_seconds(p50)}</td><td>{_fmt_seconds(p95)}</td>"
+            f"<td>{_fmt_seconds(p99)}</td></tr>"
+        )
+    parts.append("</svg>")
+    table = (
+        '<details><summary>Table view</summary><table>'
+        "<thead><tr><th>cell</th><th>p50</th><th>p95</th><th>p99</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table></details>"
+    )
+    return "".join(parts), table
+
+
+def _ratio_bars(ratios: Dict[str, float]) -> Tuple[str, str]:
+    """(svg, table_html) of mean optimality ratio per family."""
+    if not ratios:
+        return "", ""
+    label_w, bar_h, gap = 140, 18, 8
+    chart_w = 620
+    plot_w = chart_w - label_w - 90
+    height = len(ratios) * (bar_h + gap) + 8
+    peak = max(ratios.values()) or 1.0
+    parts = [
+        f'<svg class="chart" width="{chart_w}" height="{height}" '
+        f'viewBox="0 0 {chart_w} {height}" role="img" '
+        'aria-label="Mean optimality ratio per family">'
+    ]
+    rows = []
+    for index, (family, ratio) in enumerate(ratios.items()):
+        y = 4 + index * (bar_h + gap)
+        width = max(1.0, plot_w * ratio / peak)
+        parts.append(
+            f'<text x="{label_w - 10}" y="{y + bar_h / 2 + 4}" '
+            f'text-anchor="end" class="label">{_esc(family)}</text>'
+        )
+        parts.append(_hbar_rounded(
+            label_w, y, round(width, 1), bar_h, "var(--accent)",
+            f"{family}: mean ratio {ratio:.4f}",
+        ))
+        parts.append(
+            f'<text x="{label_w + width + 8:.1f}" y="{y + bar_h / 2 + 4}" '
+            f'class="value">{ratio:.3f}×</text>'
+        )
+        rows.append(f"<tr><td>{_esc(family)}</td><td>{ratio:.4f}</td></tr>")
+    parts.append("</svg>")
+    table = (
+        '<details><summary>Table view</summary><table>'
+        "<thead><tr><th>family</th><th>mean ratio</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+    return "".join(parts), table
+
+
+# ----------------------------------------------------------------------
+# page assembly
+# ----------------------------------------------------------------------
+_CSS = """
+:root {
+  --surface: #fcfcfb; --surface-raised: #f4f4f2; --border: #e3e3df;
+  --ink: #1a1a19; --ink-secondary: #565651; --ink-muted: #77776f;
+  --accent: #2a78d6; --line-muted: #b9b9b3;
+  --ladder-0: #86b6ef; --ladder-1: #2a78d6; --ladder-2: #104281;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --surface-raised: #232322; --border: #3a3a37;
+    --ink: #f2f2f0; --ink-secondary: #b4b4ae; --ink-muted: #8b8b84;
+    --accent: #3987e5; --line-muted: #55554f;
+    --ladder-0: #86b6ef; --ladder-1: #3987e5; --ladder-2: #184f95;
+  }
+}
+[data-theme="light"] {
+  --surface: #fcfcfb; --surface-raised: #f4f4f2; --border: #e3e3df;
+  --ink: #1a1a19; --ink-secondary: #565651; --ink-muted: #77776f;
+  --accent: #2a78d6; --line-muted: #b9b9b3;
+  --ladder-0: #86b6ef; --ladder-1: #2a78d6; --ladder-2: #104281;
+}
+[data-theme="dark"] {
+  --surface: #1a1a19; --surface-raised: #232322; --border: #3a3a37;
+  --ink: #f2f2f0; --ink-secondary: #b4b4ae; --ink-muted: #8b8b84;
+  --accent: #3987e5; --line-muted: #55554f;
+  --ladder-0: #86b6ef; --ladder-1: #3987e5; --ladder-2: #184f95;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 32px 24px 64px; max-width: 920px;
+  background: var(--surface); color: var(--ink);
+  font: 15px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 36px 0 4px; }
+.sub { color: var(--ink-secondary); margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 20px 0; }
+.tile {
+  background: var(--surface-raised); border: 1px solid var(--border);
+  border-radius: 10px; padding: 12px 16px; min-width: 150px;
+}
+.tile .big { font-size: 26px; font-weight: 600; font-variant-numeric: tabular-nums; }
+.tile .name { color: var(--ink-secondary); font-size: 13px; }
+.tile .ctx { color: var(--ink-muted); font-size: 12px; }
+.sparkrow {
+  display: grid; grid-template-columns: 130px 230px 1fr; gap: 10px;
+  align-items: center; padding: 6px 0; border-bottom: 1px solid var(--border);
+}
+.sparkrow .fam { color: var(--ink); font-weight: 500; }
+.sparkrow .now { color: var(--ink-secondary); font-variant-numeric: tabular-nums; }
+svg .label { fill: var(--ink-secondary); font-size: 12px; }
+svg .value { fill: var(--ink-secondary); font-size: 12px; font-variant-numeric: tabular-nums; }
+.legend { display: flex; gap: 16px; margin: 8px 0; color: var(--ink-secondary); font-size: 13px; }
+.legend .swatch {
+  display: inline-block; width: 12px; height: 12px; border-radius: 3px;
+  margin-right: 6px; vertical-align: -1px;
+}
+table { border-collapse: collapse; margin: 8px 0; font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: 4px 14px 4px 0; border-bottom: 1px solid var(--border); }
+th { color: var(--ink-secondary); font-weight: 500; font-size: 13px; }
+details summary { cursor: pointer; color: var(--ink-muted); font-size: 13px; margin-top: 6px; }
+.empty { color: var(--ink-muted); font-style: italic; }
+"""
+
+
+def _tile(big: str, name: str, ctx: str = "") -> str:
+    ctx_html = f'<div class="ctx">{_esc(ctx)}</div>' if ctx else ""
+    return (
+        f'<div class="tile"><div class="big">{_esc(big)}</div>'
+        f'<div class="name">{_esc(name)}</div>{ctx_html}</div>'
+    )
+
+
+def render_dashboard(docs: Sequence[Dict[str, Any]]) -> str:
+    """The full standalone HTML page over parsed artifact documents."""
+    total_records = sum(len(d.get("records", ())) for d in docs)
+    latest = docs[-1] if docs else None
+    tiles = [
+        _tile(str(len(docs)), "artifacts"),
+        _tile(str(total_records), "bench records"),
+    ]
+    if latest is not None:
+        created = str(latest.get("created_utc", "?"))
+        run = latest.get("run") or {}
+        tiles.append(_tile(
+            created.split("T")[0], "latest run",
+            f"v{latest.get('version', '?')} · {latest['_name']}",
+        ))
+        campaign = run.get("campaign_seconds")
+        if isinstance(campaign, (int, float)):
+            tiles.append(_tile(
+                _fmt_seconds(float(campaign)), "latest campaign wall time",
+                f"workers={run.get('workers') or 0}",
+            ))
+
+    spark_rows = []
+    for family, points in _family_trajectories(docs).items():
+        spark_rows.append(
+            '<div class="sparkrow">'
+            f'<span class="fam">{_esc(family)}</span>'
+            f"{_sparkline(points)}"
+            f'<span class="now">{_esc(_fmt_seconds(points[-1][1]))} mean '
+            f"best-time · {len(points)} runs</span></div>"
+        )
+    sparks = "".join(spark_rows) or '<p class="empty">no timing records</p>'
+
+    traffic_doc = _latest_traffic(docs)
+    if traffic_doc is not None:
+        ladder_svg, ladder_table = _latency_ladder(traffic_doc)
+        legend = (
+            '<div class="legend">'
+            '<span><span class="swatch" style="background:var(--ladder-0)"></span>p50</span>'
+            '<span><span class="swatch" style="background:var(--ladder-1)"></span>p95</span>'
+            '<span><span class="swatch" style="background:var(--ladder-2)"></span>p99</span>'
+            "</div>"
+        )
+        traffic_section = (
+            f'<p class="sub">from {_esc(traffic_doc["_name"])}</p>'
+            f"{legend}{ladder_svg}{ladder_table}"
+        )
+    else:
+        traffic_section = '<p class="empty">no traffic artifacts</p>'
+
+    ratio_name, ratios = _latest_ratios(docs)
+    if ratios:
+        ratio_svg, ratio_table = _ratio_bars(ratios)
+        ratio_section = (
+            f'<p class="sub">postorder vs optimal, from {_esc(ratio_name)}</p>'
+            f"{ratio_svg}{ratio_table}"
+        )
+    else:
+        ratio_section = '<p class="empty">no optimality-ratio records</p>'
+
+    inventory_rows = []
+    for doc in reversed(docs):
+        run = doc.get("run") or {}
+        campaign = run.get("campaign_seconds")
+        inventory_rows.append(
+            f"<tr><td>{_esc(doc['_name'])}</td>"
+            f"<td>{_esc(doc.get('created_utc', '?'))}</td>"
+            f"<td>{_esc(doc.get('version', '?'))}</td>"
+            f"<td>{len(doc.get('records', ()))}</td>"
+            f"<td>{_esc(', '.join(_families(doc)))}</td>"
+            f"<td>{_fmt_seconds(float(campaign)) if isinstance(campaign, (int, float)) else '-'}</td></tr>"
+        )
+    inventory = (
+        "<table><thead><tr><th>artifact</th><th>created</th><th>version</th>"
+        "<th>records</th><th>families</th><th>campaign</th></tr></thead>"
+        f"<tbody>{''.join(inventory_rows)}</tbody></table>"
+        if inventory_rows else '<p class="empty">no artifacts found</p>'
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>BENCH trajectory</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>BENCH trajectory</h1>
+<p class="sub">repro-treemem benchmark artifacts, rendered by
+<code>repro-treemem report</code></p>
+<div class="tiles">{''.join(tiles)}</div>
+<h2>Family timing trajectories</h2>
+<p class="sub">mean best-time per scenario family across the artifact
+sequence (oldest → newest; dot marks the newest run)</p>
+{sparks}
+<h2>Traffic latency ladder</h2>
+{traffic_section}
+<h2>Optimality ratios</h2>
+{ratio_section}
+<h2>Artifacts</h2>
+{inventory}
+</body>
+</html>
+"""
+
+
+def write_dashboard(paths: Sequence[Path], output: Path) -> Path:
+    """Render ``paths`` into ``output`` (HTML); returns the output path."""
+    docs = load_artifacts(paths)
+    output = Path(output)
+    output.write_text(render_dashboard(docs), encoding="utf-8")
+    return output

@@ -1,0 +1,162 @@
+"""Structured logging on the stdlib: key=value or JSON lines, per subsystem.
+
+The repo's daemons and benchmarks log *events with fields*, not prose.
+Every logger lives under the ``repro`` root (``repro.service``,
+``repro.engine``, ``repro.bench``, ...), the message is a short snake_case
+event name, and the structured payload rides in ``record.fields``::
+
+    log = get_logger("service")
+    log_event(log, "request_complete", id="req-1", status="ok",
+              total_seconds=0.0123)
+
+Two formatters render the same records:
+
+* :class:`KeyValueFormatter` -- ``2026-08-08T10:00:00Z INFO repro.service
+  request_complete id=req-1 status=ok total_seconds=0.0123`` (values with
+  spaces or quotes are double-quoted) -- the human default;
+* :class:`JsonFormatter` -- one JSON object per line with ``ts``,
+  ``level``, ``logger``, ``event`` and the fields inlined -- what log
+  shippers want (``repro serve --log-json``).
+
+:func:`configure_logging` installs a handler on the ``repro`` root logger
+(idempotent: reconfiguring replaces the previous handler, so tests and
+repeated CLI invocations never stack duplicates) and stops propagation, so
+embedding applications keep full control of their own root logger.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, IO, Optional
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "LOG_LEVELS",
+    "get_logger",
+    "log_event",
+    "configure_logging",
+    "KeyValueFormatter",
+    "JsonFormatter",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: CLI-facing level names (``--log-level``)
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def get_logger(subsystem: str = "") -> logging.Logger:
+    """The ``repro.<subsystem>`` logger (the bare root for ``""``)."""
+    if not subsystem:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{subsystem}")
+
+
+def log_event(
+    logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields: Any
+) -> None:
+    """Emit ``event`` with structured ``fields`` at ``level``.
+
+    A thin convenience over ``logger.log`` that carries the fields on the
+    record (``record.fields``), where both formatters pick them up; third
+    parties using plain formatters still see the event name as the message.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+def _timestamp(record: logging.LogRecord) -> str:
+    parts = time.gmtime(record.created)
+    return (
+        f"{time.strftime('%Y-%m-%dT%H:%M:%S', parts)}."
+        f"{int(record.msecs):03d}Z"
+    )
+
+
+def _record_fields(record: logging.LogRecord) -> Dict[str, Any]:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, dict) else {}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts LEVEL logger event key=value ...`` -- grep-friendly lines."""
+
+    @staticmethod
+    def _format_value(value: Any) -> str:
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        elif value is None:
+            text = "null"
+        elif isinstance(value, bool):
+            text = "true" if value else "false"
+        else:
+            text = str(value)
+        if any(ch in text for ch in (' ', '"', "=")) or not text:
+            return '"' + text.replace('"', '\\"') + '"'
+        return text
+
+    def format(self, record: logging.LogRecord) -> str:
+        head = (
+            f"{_timestamp(record)} {record.levelname} {record.name} "
+            f"{record.getMessage()}"
+        )
+        fields = _record_fields(record)
+        if fields:
+            head += " " + " ".join(
+                f"{key}={self._format_value(value)}"
+                for key, value in fields.items()
+            )
+        if record.exc_info:
+            head += "\n" + self.formatException(record.exc_info)
+        return head
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; fields inlined next to the envelope."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: Dict[str, Any] = {
+            "ts": _timestamp(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in _record_fields(record).items():
+            if key not in doc:
+                doc[key] = value
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, separators=(",", ":"), default=str)
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install a handler + formatter on the ``repro`` root logger.
+
+    Idempotent: the previously installed repro handler (marked by an
+    attribute, so foreign handlers are left alone) is replaced, never
+    stacked.  Returns the configured root logger.
+    """
+    name = level.strip().lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(getattr(logging, name.upper()))
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_lines else KeyValueFormatter())
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

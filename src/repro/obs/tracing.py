@@ -1,0 +1,115 @@
+"""Per-request tracing: a span timeline across the service lifecycle.
+
+A :class:`SpanTimeline` records named stages against one ``perf_counter``
+origin.  The service daemon opens a timeline when a request document
+arrives and records one span per lifecycle stage::
+
+    parse -> intern -> queued -> dispatch -> solve -> report
+
+Spans are explicit ``(name, start, end)`` records rather than nested
+context managers because the daemon's stages cross ``await`` boundaries and
+callbacks (the queue sits between admission and dispatch, the watchdog can
+close a request from a timer).  The timeline is cheap -- a list of tuples,
+no locks -- and renders two ways: :meth:`SpanTimeline.durations` (the
+``timing.stages`` block of a :class:`~repro.service.protocol.ServiceResponse`)
+and :meth:`SpanTimeline.to_list` (offset + duration per span, for log lines
+and debugging).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SpanTimeline", "REQUEST_STAGES"]
+
+#: the lifecycle stages of one service request, in order
+REQUEST_STAGES = ("parse", "intern", "queued", "dispatch", "solve", "report")
+
+
+class SpanTimeline:
+    """Ordered named spans over one ``perf_counter`` origin."""
+
+    __slots__ = ("origin", "_spans", "_open")
+
+    def __init__(self, origin: Optional[float] = None) -> None:
+        self.origin = perf_counter() if origin is None else origin
+        self._spans: List[Tuple[str, float, float]] = []
+        self._open: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, at: Optional[float] = None) -> float:
+        """Open span ``name``; returns the start stamp (absolute seconds)."""
+        start = perf_counter() if at is None else at
+        self._open[name] = start
+        return start
+
+    def end(self, name: str, at: Optional[float] = None) -> float:
+        """Close span ``name`` opened by :meth:`begin`; returns its duration."""
+        end = perf_counter() if at is None else at
+        start = self._open.pop(name, self.origin)
+        self.record(name, start, end)
+        return end - start
+
+    def record(self, name: str, start: float, end: float) -> None:
+        """Add a closed span (absolute ``perf_counter`` stamps)."""
+        self._spans.append((name, start, max(start, end)))
+
+    def end_if_open(self, name: str, at: Optional[float] = None) -> bool:
+        """Close span ``name`` only when it is open; True when it was.
+
+        For paths reached more than one way (e.g. the daemon's thread
+        fallback, entered both directly and after a broken-pool retry) where
+        an unconditional :meth:`end` would fabricate an origin-anchored span.
+        """
+        if name not in self._open:
+            return False
+        self.end(name, at=at)
+        return True
+
+    def close_open(self, at: Optional[float] = None) -> None:
+        """Close every still-open span at ``at`` (now by default).
+
+        The settle-on-any-path hook: when a request dies early (deadline,
+        drain, solver crash) whatever stage it was in is still open; closing
+        it here makes the reported stages account for *all* the elapsed
+        time, whichever path ended the request.
+        """
+        if not self._open:
+            return
+        stamp = perf_counter() if at is None else at
+        for name, start in list(self._open.items()):
+            self.record(name, start, stamp)
+        self._open.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __contains__(self, name: str) -> bool:
+        return any(span_name == name for span_name, _, _ in self._spans)
+
+    # ------------------------------------------------------------------
+    def durations(self) -> Dict[str, float]:
+        """``{stage: seconds}`` in recording order (repeat names summed)."""
+        out: Dict[str, float] = {}
+        for name, start, end in self._spans:
+            out[name] = out.get(name, 0.0) + (end - start)
+        return out
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Spans as offset/duration documents (offsets from the origin)."""
+        return [
+            {
+                "stage": name,
+                "offset_seconds": start - self.origin,
+                "duration_seconds": end - start,
+            }
+            for name, start, end in self._spans
+        ]
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from the origin to the latest recorded span end."""
+        if not self._spans:
+            return 0.0
+        return max(end for _, _, end in self._spans) - self.origin

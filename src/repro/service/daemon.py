@@ -41,10 +41,19 @@ segments (``drain=False`` aborts instead: queued requests are flushed with
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import (
+    Histogram,
+    MetricsRegistry,
+    SpanTimeline,
+    get_logger,
+    log_event,
+    render_prometheus,
+)
 from ..solvers.facade import _solve_task
 from .errors import (
     DeadlineError,
@@ -63,30 +72,23 @@ from .protocol import (
 
 __all__ = ["SolverService", "ServiceStats", "SERVICE_POOL_MODES"]
 
+_log = get_logger("service")
+
 #: executor modes of the service: the persistent process engine or an
 #: in-process thread pool (the latter also the automatic fallback)
 SERVICE_POOL_MODES = ("persistent", "serial")
 
-#: hard cap on recorded latencies (the stats snapshot stays bounded)
-_MAX_LATENCY_SAMPLES = 200_000
-
-
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Linear-interpolation percentile of an ascending list (q in 0..100)."""
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = (q / 100.0) * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    frac = rank - low
-    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
-
 
 @dataclass
 class ServiceStats:
-    """Lifetime counters of one service instance."""
+    """Lifetime counters + streaming latency histograms of one service.
+
+    Latencies live in fixed-bucket :class:`~repro.obs.Histogram` objects,
+    not raw sample lists: memory is bounded by the bucket ladder and the
+    p50/p95/p99 estimates keep tracking the live distribution at any request
+    volume (the previous design capped the sample list and silently froze
+    its percentiles past the cap).
+    """
 
     accepted: int = 0
     completed: int = 0
@@ -97,24 +99,33 @@ class ServiceStats:
     deadline_miss_executing: int = 0
     drained: int = 0
     max_queue_depth: int = 0
-    _latencies: List[float] = field(default_factory=list, repr=False)
+    #: total (admission -> response) latency of completed requests
+    latency: Histogram = field(default_factory=Histogram, repr=False)
+    #: stage histograms of the same requests (admission -> dispatch,
+    #: dispatch -> completion)
+    queue_latency: Histogram = field(default_factory=Histogram, repr=False)
+    solve_latency: Histogram = field(default_factory=Histogram, repr=False)
 
     @property
     def deadline_misses(self) -> int:
         return self.deadline_miss_queued + self.deadline_miss_executing
 
-    def record_latency(self, seconds: float) -> None:
-        if len(self._latencies) < _MAX_LATENCY_SAMPLES:
-            self._latencies.append(seconds)
+    def record_latency(
+        self,
+        seconds: float,
+        *,
+        queue_seconds: Optional[float] = None,
+        solve_seconds: Optional[float] = None,
+    ) -> None:
+        self.latency.observe(seconds)
+        if queue_seconds is not None:
+            self.queue_latency.observe(queue_seconds)
+        if solve_seconds is not None:
+            self.solve_latency.observe(solve_seconds)
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p95/p99 of the completed requests' total latency (seconds)."""
-        ordered = sorted(self._latencies)
-        return {
-            "p50": _percentile(ordered, 50.0),
-            "p95": _percentile(ordered, 95.0),
-            "p99": _percentile(ordered, 99.0),
-        }
+        return self.latency.percentiles((50.0, 95.0, 99.0))
 
     def snapshot(self) -> Dict[str, Any]:
         doc = {
@@ -130,6 +141,8 @@ class ServiceStats:
             "max_queue_depth": self.max_queue_depth,
         }
         doc["latency_seconds"] = self.latency_percentiles()
+        doc["latency_seconds"]["mean"] = self.latency.mean
+        doc["latency_seconds"]["count"] = self.latency.count
         return doc
 
 
@@ -256,6 +269,11 @@ class SolverService:
         self._dispatcher = loop.create_task(self._dispatch_loop())
         self._started = True
         self._accepting = True
+        log_event(
+            _log, "service_started",
+            pool=self.pool_mode, workers=self.workers,
+            max_pending=self.max_pending, max_inflight=self.max_inflight,
+        )
         return self
 
     async def __aenter__(self) -> "SolverService":
@@ -320,6 +338,11 @@ class SolverService:
             self._engine.shutdown()
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=False, cancel_futures=True)
+        log_event(
+            _log, "service_closed",
+            drain=drain, completed=self.stats.completed,
+            rejected=self.stats.rejected, drained=self.stats.drained,
+        )
 
     def _by_future_pendings(self) -> List[_Pending]:
         # pendings are reachable through the queue (never dispatched) only;
@@ -349,12 +372,22 @@ class SolverService:
             raise ServiceClosedError("service is not accepting requests")
         if self._pending_count >= self.max_pending:
             self.stats.rejected += 1
+            log_event(
+                _log, "request_rejected", level=logging.WARNING,
+                id=request.id, pending=self._pending_count,
+                max_pending=self.max_pending,
+            )
             raise QueueFullError(
                 f"request queue is full ({self._pending_count} pending, "
                 f"bound {self.max_pending}); retry with backoff"
             )
         loop = asyncio.get_running_loop()
         request.accepted_at = perf_counter()
+        if request.trace is None:
+            # hand-built requests (tests, embedding callers) get a timeline
+            # at admission; parse_request-built ones arrive with one
+            request.trace = SpanTimeline(origin=request.accepted_at)
+        request.trace.begin("queued", at=request.accepted_at)
         pending = _Pending(request, loop.create_future())
         self._pending_count += 1
         self._idle.clear()
@@ -387,6 +420,10 @@ class SolverService:
         except ServiceError as exc:
             self.stats.bad_requests += 1
             request_id = doc.get("id") if isinstance(doc, dict) else None
+            log_event(
+                _log, "bad_request", level=logging.WARNING,
+                id=request_id, code=exc.code, message=str(exc),
+            )
             return error_response(
                 request_id if isinstance(request_id, str) else None, exc
             )
@@ -440,6 +477,9 @@ class SolverService:
         try:
             pending.state = "executing"
             pending.dispatched_at = perf_counter()
+            if request.trace is not None:
+                request.trace.end("queued", at=pending.dispatched_at)
+                request.trace.begin("dispatch", at=pending.dispatched_at)
             cell = (
                 request.tree,
                 request.algorithm,
@@ -467,6 +507,9 @@ class SolverService:
                 # the late report is dropped on the floor
                 return
             end = perf_counter()
+            if request.trace is not None:
+                request.trace.close_open(at=end)  # settles the solve span
+                request.trace.begin("report", at=end)
             self._finish(
                 pending,
                 ServiceResponse(
@@ -486,6 +529,7 @@ class SolverService:
 
     async def _run_cell(self, cell: Tuple, pending: _Pending):
         """Run one cell on the engine (future seam) or the thread fallback."""
+        trace = pending.request.trace
         if self._engine is not None:
             from ..solvers.engine import EngineStoppedError
 
@@ -495,6 +539,9 @@ class SolverService:
                 raise ServiceClosedError("engine is stopping") from None
             if exec_future is not None:
                 pending.exec_future = exec_future
+                if trace is not None:
+                    trace.end("dispatch")
+                    trace.begin("solve")
                 from concurrent.futures.process import BrokenProcessPool
 
                 try:
@@ -502,9 +549,19 @@ class SolverService:
                 except BrokenProcessPool:
                     # a worker crashed mid-request: heal the pool and give
                     # this request its answer in-process
+                    log_event(
+                        _log, "pool_broken", level=logging.WARNING,
+                        id=pending.request.id,
+                    )
                     self._engine.pool.reset()
                     pending.exec_future = None
         loop = asyncio.get_running_loop()
+        if trace is not None:
+            # thread fallback: the dispatch span (if still open) ends here;
+            # after a broken-pool retry it is already closed and the second
+            # solve stretch simply extends the summed solve duration
+            trace.end_if_open("dispatch")
+            trace.begin("solve")
         return await loop.run_in_executor(self._threads(), _solve_task, cell)
 
     def _threads(self):
@@ -537,6 +594,10 @@ class SolverService:
             # cooperative cancellation: an engine future still in the pool
             # queue dies here; a running solve merely gets abandoned
             pending.exec_future.cancel()
+        log_event(
+            _log, "deadline_miss", level=logging.WARNING,
+            id=request.id, stage=stage, deadline=request.deadline,
+        )
         self._finish(
             pending,
             error_response(
@@ -576,6 +637,13 @@ class SolverService:
         if pending.timer is not None:
             pending.timer.cancel()
             pending.timer = None
+        trace = pending.request.trace
+        if trace is not None:
+            # whatever stage the request died in is still open on the error
+            # paths (deadline, drain, solver crash); settle it so the stages
+            # account for all the elapsed time
+            trace.close_open()
+            response.stages = trace.durations()
         pending.future.set_result(response)
         self._pending_count -= 1
         if self._pending_count == 0:
@@ -583,7 +651,11 @@ class SolverService:
         error = response.error
         if response.ok:
             self.stats.completed += 1
-            self.stats.record_latency(response.total_seconds)
+            self.stats.record_latency(
+                response.total_seconds,
+                queue_seconds=response.queue_seconds,
+                solve_seconds=response.solve_seconds,
+            )
         elif isinstance(error, DeadlineError):
             if error.stage == "queued":
                 self.stats.deadline_miss_queued += 1
@@ -593,6 +665,12 @@ class SolverService:
             self.stats.solver_errors += 1
         elif isinstance(error, ServiceClosedError):
             self.stats.drained += 1
+        log_event(
+            _log, "request_complete", level=logging.DEBUG,
+            id=response.request_id, status=response.status,
+            algorithm=response.algorithm,
+            total_seconds=response.total_seconds,
+        )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -610,4 +688,159 @@ class SolverService:
             interner_misses=self.interner.misses,
             accepting=self._accepting,
         )
+        if self._engine is not None:
+            doc["engine"] = self._engine.snapshot()
         return doc
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A fresh registry over the live metric state, built per scrape.
+
+        Counters and gauges are snapshotted into the registry; the latency
+        histograms are *attached* (the live objects, one source of truth).
+        Building per scrape keeps the daemon free of a parallel metrics
+        store that could drift from :class:`ServiceStats`.
+        """
+        from .. import __version__
+
+        reg = MetricsRegistry()
+        stats = self.stats
+        reg.gauge(
+            "repro_build_info", "Build/version marker (value is always 1).",
+            labels={"version": __version__}, value=1,
+        )
+        reg.counter(
+            "repro_service_accepted_total",
+            "Requests admitted past admission control.",
+            value=stats.accepted,
+        )
+        outcomes = {
+            "completed": stats.completed,
+            "rejected": stats.rejected,
+            "bad_request": stats.bad_requests,
+            "solver_error": stats.solver_errors,
+            "deadline_queued": stats.deadline_miss_queued,
+            "deadline_executing": stats.deadline_miss_executing,
+            "drained": stats.drained,
+        }
+        for outcome, value in outcomes.items():
+            reg.counter(
+                "repro_service_requests_total",
+                "Settled requests by outcome.",
+                labels={"outcome": outcome}, value=value,
+            )
+        reg.attach(
+            "repro_service_latency_seconds",
+            "Total latency (admission to response) of completed requests.",
+            stats.latency,
+        )
+        reg.attach(
+            "repro_service_stage_seconds",
+            "Per-stage latency of completed requests.",
+            stats.queue_latency, {"stage": "queued"},
+        )
+        reg.attach(
+            "repro_service_stage_seconds",
+            "Per-stage latency of completed requests.",
+            stats.solve_latency, {"stage": "solve"},
+        )
+        reg.gauge(
+            "repro_service_pending", "Requests alive (queued + executing).",
+            value=self._pending_count,
+        )
+        reg.gauge(
+            "repro_service_queue_depth", "Requests waiting for dispatch.",
+            value=self.queue_depth,
+        )
+        reg.gauge(
+            "repro_service_max_pending", "Admission bound on live requests.",
+            value=self.max_pending,
+        )
+        reg.gauge(
+            "repro_service_max_inflight", "Concurrent solve bound.",
+            value=self.max_inflight,
+        )
+        reg.gauge(
+            "repro_service_accepting",
+            "1 while admission is open, 0 during/after close.",
+            value=1 if self._accepting else 0,
+        )
+        reg.gauge(
+            "repro_service_queue_depth_max", "High-water mark of the queue.",
+            value=stats.max_queue_depth,
+        )
+        reg.gauge(
+            "repro_interner_trees", "Trees held by the interner LRU.",
+            value=len(self.interner),
+        )
+        reg.counter(
+            "repro_interner_hits_total", "Interner lookups served from cache.",
+            value=self.interner.hits,
+        )
+        reg.counter(
+            "repro_interner_misses_total", "Interner misses (tree builds).",
+            value=self.interner.misses,
+        )
+        if self._engine is not None:
+            engine = self._engine.snapshot()
+            pool, arena = engine["pool"], engine["arena"]
+            reg.counter(
+                "repro_engine_submits_total",
+                "Single-cell submissions to the solve engine.",
+                value=engine["submits"],
+            )
+            reg.counter(
+                "repro_engine_batches_total",
+                "Batches mapped over the solve engine.",
+                value=engine["batches"],
+            )
+            reg.counter(
+                "repro_engine_serial_fallbacks_total",
+                "Engine calls degraded to serial/in-process execution.",
+                value=engine["serial_fallbacks"],
+            )
+            reg.counter(
+                "repro_engine_broken_pools_total",
+                "Worker-pool crashes healed by a pool reset.",
+                value=engine["broken_pools"],
+            )
+            reg.gauge(
+                "repro_engine_pool_workers", "Workers of the live pool.",
+                value=pool["workers"],
+            )
+            reg.counter(
+                "repro_engine_pool_creations_total",
+                "Process pools built from scratch.",
+                value=pool["creations"],
+            )
+            reg.counter(
+                "repro_engine_pool_grows_total",
+                "Process pools rebuilt larger.",
+                value=pool["grows"],
+            )
+            reg.counter(
+                "repro_engine_pool_resets_total",
+                "Broken process pools discarded.",
+                value=pool["resets"],
+            )
+            for transport, value in (
+                ("shm", arena["shm_exports"]), ("blob", arena["blob_exports"]),
+            ):
+                reg.counter(
+                    "repro_engine_arena_exports_total",
+                    "Tree kernels shipped to the workers, by transport.",
+                    labels={"transport": transport}, value=value,
+                )
+            reg.counter(
+                "repro_engine_arena_reuses_total",
+                "Exports answered by an already-shipped segment.",
+                value=arena["reuses"],
+            )
+            reg.gauge(
+                "repro_engine_arena_segments", "Live shared-memory segments.",
+                value=arena["live_segments"],
+            )
+        return reg
+
+    def render_metrics(self) -> str:
+        """The Prometheus text document (``GET /metrics``, ``op: metrics``)."""
+        return render_prometheus(self.metrics_registry())

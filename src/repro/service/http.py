@@ -10,6 +10,9 @@ shared :class:`~repro.service.daemon.SolverService` core:
   status codes without reading the body.
 * ``GET /healthz`` -- liveness: ``{"status": "ok", "accepting": ...}``.
 * ``GET /stats`` -- the live counters/percentiles snapshot.
+* ``GET /metrics`` -- the same state as Prometheus text exposition
+  (``text/plain; version=0.0.4``), rendered per scrape from the live
+  metric objects.
 
 Connections are keep-alive by default (``Connection: close`` honoured), one
 request at a time per connection -- concurrency comes from concurrent
@@ -22,11 +25,14 @@ import asyncio
 import json
 from typing import Any, Dict, Optional, Tuple
 
+from ..obs import PROMETHEUS_CONTENT_TYPE, get_logger, log_event
 from .daemon import SolverService
 from .errors import BadRequestError, ServiceError
 from .protocol import error_response
 
 __all__ = ["start_http_server", "MAX_BODY_BYTES"]
+
+_log = get_logger("service.http")
 
 #: request bodies beyond this are refused (a million-node parent array fits)
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -39,12 +45,22 @@ _REASONS = {
 }
 
 
-def _encode(status: int, doc: Dict[str, Any], *, keep_alive: bool) -> bytes:
-    body = json.dumps(doc, separators=(",", ":")).encode()
+def _encode(
+    status: int,
+    payload: Any,
+    *,
+    keep_alive: bool,
+    content_type: str = "application/json",
+) -> bytes:
+    """One HTTP/1.1 response; dict payloads are JSON, str payloads verbatim."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = json.dumps(payload, separators=(",", ":")).encode()
     reason = _REASONS.get(status, "OK")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
@@ -104,8 +120,13 @@ async def _handle_connection(
             method, path, body = parsed
             keep_alive = not method.startswith("!")
             method = method.lstrip("!")
-            status, doc = await _route(service, method, path, body)
-            writer.write(_encode(status, doc, keep_alive=keep_alive))
+            status, payload, content_type = await _route(
+                service, method, path, body
+            )
+            writer.write(_encode(
+                status, payload, keep_alive=keep_alive,
+                content_type=content_type,
+            ))
             await writer.drain()
             if not keep_alive:
                 return
@@ -119,33 +140,45 @@ async def _handle_connection(
             pass
 
 
+_JSON = "application/json"
+
+
 async def _route(
     service: SolverService, method: str, path: str, body: bytes
-) -> Tuple[int, Dict[str, Any]]:
+) -> Tuple[int, Any, str]:
+    """Dispatch one request: ``(status, payload, content_type)``."""
     path = path.split("?", 1)[0]
     if path == "/healthz":
         if method != "GET":
-            return 405, {"error": {"code": "method_not_allowed"}}
-        return 200, {"status": "ok", "accepting": service.snapshot()["accepting"]}
+            return 405, {"error": {"code": "method_not_allowed"}}, _JSON
+        return (
+            200,
+            {"status": "ok", "accepting": service.snapshot()["accepting"]},
+            _JSON,
+        )
     if path == "/stats":
         if method != "GET":
-            return 405, {"error": {"code": "method_not_allowed"}}
-        return 200, service.snapshot()
+            return 405, {"error": {"code": "method_not_allowed"}}, _JSON
+        return 200, service.snapshot(), _JSON
+    if path == "/metrics":
+        if method != "GET":
+            return 405, {"error": {"code": "method_not_allowed"}}, _JSON
+        return 200, service.render_metrics(), PROMETHEUS_CONTENT_TYPE
     if path == "/solve":
         if method != "POST":
-            return 405, {"error": {"code": "method_not_allowed"}}
+            return 405, {"error": {"code": "method_not_allowed"}}, _JSON
         try:
             doc = json.loads(body.decode() or "null")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             err = BadRequestError(f"invalid JSON body: {exc}")
-            return err.http_status, error_response(None, err).to_dict()
+            return err.http_status, error_response(None, err).to_dict(), _JSON
         response = await service.handle(doc)
         status = 200
         if response.error is not None:
             error: ServiceError = response.error
             status = error.http_status
-        return status, response.to_dict()
-    return 404, {"error": {"code": "not_found", "message": path}}
+        return status, response.to_dict(), _JSON
+    return 404, {"error": {"code": "not_found", "message": path}}, _JSON
 
 
 async def start_http_server(
@@ -161,4 +194,10 @@ async def start_http_server(
     async def _client(reader, writer):
         await _handle_connection(service, reader, writer)
 
-    return await asyncio.start_server(_client, host=host, port=port)
+    server = await asyncio.start_server(_client, host=host, port=port)
+    for sock in server.sockets or ():
+        bound_host, bound_port = sock.getsockname()[:2]
+        log_event(
+            _log, "http_listening", host=bound_host, port=bound_port,
+        )
+    return server

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..core.tree import Tree, TreeValidationError
+from ..obs import SpanTimeline
 from ..solvers.registry import UnknownSolverError, get_solver
 from ..solvers.report import SolveReport, report_to_dict
 from .errors import BadRequestError, ServiceError, UnknownTreeTokenError
@@ -197,6 +198,9 @@ class ServiceRequest:
     report_mode: str = "full"
     #: stamped by the daemon at admission (perf_counter seconds)
     accepted_at: float = 0.0
+    #: per-request span timeline; created by :func:`parse_request` (or by
+    #: the daemon at admission for hand-built requests)
+    trace: Optional[SpanTimeline] = field(default=None, repr=False, compare=False)
 
 
 def parse_request(
@@ -204,13 +208,22 @@ def parse_request(
     interner: TreeInterner,
     *,
     default_deadline: Optional[float] = None,
+    trace: Optional[SpanTimeline] = None,
 ) -> ServiceRequest:
     """Validate a request document into a :class:`ServiceRequest`.
 
     Every malformed field raises :class:`BadRequestError` (or the more
     specific :class:`UnknownTreeTokenError`) -- parsing happens *before*
     admission, so a bad request never occupies a queue slot.
+
+    The request's span timeline starts here: field validation is recorded
+    as ``parse`` (two disjoint stretches around the intern call, summed),
+    tree construction/lookup as ``intern``.  Pass an existing ``trace`` to
+    extend a timeline that began upstream (e.g. at socket accept).
     """
+    if trace is None:
+        trace = SpanTimeline()
+    trace.begin("parse")
     if not isinstance(doc, dict):
         raise BadRequestError("request must be a JSON object")
     request_id = doc.get("id")
@@ -222,6 +235,8 @@ def parse_request(
     payload = doc.get("tree")
     if not isinstance(payload, dict):
         raise BadRequestError("request must carry a 'tree' object")
+    trace.end("parse")
+    trace.begin("intern")
     if "token" in payload:
         token = payload["token"]
         if not isinstance(token, str):
@@ -229,6 +244,8 @@ def parse_request(
         tree = interner.lookup(token)
     else:
         token, tree = interner.intern(payload)
+    trace.end("intern")
+    trace.begin("parse")
 
     algorithm = doc.get("algorithm", "minmem")
     try:
@@ -268,6 +285,7 @@ def parse_request(
             f"report must be one of {REPORT_MODES}, not {report_mode!r}"
         )
 
+    trace.end("parse")
     return ServiceRequest(
         id=request_id,
         tree=tree,
@@ -277,6 +295,7 @@ def parse_request(
         deadline=deadline,
         options=dict(options),
         report_mode=report_mode,
+        trace=trace,
     )
 
 
@@ -291,7 +310,10 @@ class ServiceResponse:
     ``queue_seconds`` from admission to dispatch, ``solve_seconds`` from
     dispatch to completion (service-side, IPC included -- the report's own
     ``wall_time`` is the in-worker stamp), ``total_seconds`` from admission
-    to the response.
+    to the response.  ``stages`` refines that further: the per-stage span
+    durations (``parse``/``intern``/``queued``/``dispatch``/``solve``/
+    ``report``) of the request's :class:`~repro.obs.SpanTimeline`, surfaced
+    under ``timing.stages`` on the wire.
     """
 
     request_id: str
@@ -304,6 +326,7 @@ class ServiceResponse:
     queue_seconds: float = 0.0
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
+    stages: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -328,6 +351,8 @@ class ServiceResponse:
                 "total_seconds": self.total_seconds,
             },
         }
+        if self.stages is not None:
+            doc["timing"]["stages"] = dict(self.stages)
         if self.algorithm is not None:
             doc["algorithm"] = self.algorithm
         if self.tree_token is not None:

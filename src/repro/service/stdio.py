@@ -5,7 +5,11 @@ deterministic to drive.  Each input line is either a solve request (the
 :mod:`repro.service.protocol` schema) or a control document::
 
     {"op": "stats"}      -> {"op": "stats", "stats": {...}}
+    {"op": "metrics"}    -> {"op": "metrics", "content_type": ..., "body": ...}
     {"op": "shutdown"}   -> stop reading (equivalent to EOF)
+
+The ``metrics`` body is the same Prometheus text document ``GET /metrics``
+serves on the HTTP front end, carried as one JSON string.
 
 Requests run concurrently -- the reader never blocks on a solve -- and
 responses are written as they complete, one JSON document per line, matched
@@ -72,6 +76,15 @@ async def serve_stdio(
         op = doc.get("op") if isinstance(doc, dict) else None
         if op == "stats":
             await emit({"op": "stats", "stats": service.snapshot()})
+            continue
+        if op == "metrics":
+            from ..obs import PROMETHEUS_CONTENT_TYPE
+
+            await emit({
+                "op": "metrics",
+                "content_type": PROMETHEUS_CONTENT_TYPE,
+                "body": service.render_metrics(),
+            })
             continue
         if op == "shutdown":
             break

@@ -40,7 +40,10 @@ from typing import Dict, Optional, Tuple
 
 from ...core.kernel import TreeKernel
 
-__all__ = ["TreeRef", "TreeArena", "resolve", "worker_cache_info"]
+__all__ = [
+    "TreeRef", "TreeArena", "resolve", "worker_cache_info",
+    "worker_cache_stats",
+]
 
 #: transport kinds a :class:`TreeRef` can carry
 _KIND_SHM = "shm"
@@ -105,6 +108,14 @@ class TreeArena:
         self._segments: Dict[str, object] = {}  # token -> SharedMemory
         self._finalizers: Dict[str, weakref.finalize] = {}
         self._pid = os.getpid()
+        # ship-vs-reuse accounting: `exports` counts kernels actually
+        # flattened and published (shm segment or pickle blob), `reuses`
+        # counts export() calls answered by an existing ref -- the ratio is
+        # the scatter-once effectiveness the arena exists to provide
+        self.exports = 0
+        self.reuses = 0
+        self.shm_exports = 0
+        self.blob_exports = 0
 
     # ------------------------------------------------------------------
     def _fork_guard(self) -> None:
@@ -118,6 +129,10 @@ class TreeArena:
             self._segments = {}
             self._finalizers = {}
             self._pid = os.getpid()
+            self.exports = 0
+            self.reuses = 0
+            self.shm_exports = 0
+            self.blob_exports = 0
 
     def export(self, tree) -> TreeRef:
         """Publish ``tree`` (a :class:`Tree` or kernel) and return its ref.
@@ -132,8 +147,10 @@ class TreeArena:
         # the id() key alone could alias a dead kernel's recycled address;
         # the weak value map is the ground truth
         if ref is not None and self._refs.get(ref.token) is kernel:
+            self.reuses += 1
             return ref
         ref = self._export_kernel(kernel)
+        self.exports += 1
         self._refs[ref.token] = kernel
         self._by_kernel[id(kernel)] = ref
         self._finalizers[ref.token] = weakref.finalize(
@@ -151,6 +168,7 @@ class TreeArena:
             segment = self._create_segment(parent, f, n, ids_blob)
             if segment is not None:
                 self._segments[token] = segment
+                self.shm_exports += 1
                 return TreeRef(
                     token=token,
                     kind=_KIND_SHM,
@@ -164,6 +182,7 @@ class TreeArena:
         blob = pickle.dumps(
             (parent, f, n, ids_blob), protocol=pickle.HIGHEST_PROTOCOL
         )
+        self.blob_exports += 1
         return TreeRef(token=token, kind=_KIND_BLOB, size=kernel.size, blob=blob)
 
     def _create_segment(self, parent, f, n, ids_blob: bytes):
@@ -220,6 +239,16 @@ class TreeArena:
         """Names of the shared-memory segments currently owned (testing)."""
         return tuple(seg.name for seg in self._segments.values())
 
+    def snapshot(self) -> Dict[str, int]:
+        """Ship-vs-reuse counters + current residency (stats, ``/metrics``)."""
+        return {
+            "exports": self.exports,
+            "reuses": self.reuses,
+            "shm_exports": self.shm_exports,
+            "blob_exports": self.blob_exports,
+            "live_segments": len(self._segments),
+        }
+
     def __len__(self) -> int:
         return len(self._segments) + sum(
             1 for ref in self._by_kernel.values() if ref.kind == _KIND_BLOB
@@ -230,6 +259,11 @@ class TreeArena:
 # worker side
 # ----------------------------------------------------------------------
 _WORKER_KERNELS: Dict[str, TreeKernel] = {}
+#: per-process resident-kernel cache hits/misses (each worker counts its own;
+#: :func:`worker_cache_stats` is picklable, so a parent can sample workers by
+#: submitting it to the pool)
+_WORKER_CACHE_HITS = 0
+_WORKER_CACHE_MISSES = 0
 
 
 def _attach_shm(ref: TreeRef) -> TreeKernel:
@@ -263,9 +297,12 @@ def _attach_blob(ref: TreeRef) -> TreeKernel:
 
 def resolve(ref: TreeRef) -> TreeKernel:
     """The resident kernel for ``ref`` (attaching and caching on first use)."""
+    global _WORKER_CACHE_HITS, _WORKER_CACHE_MISSES
     kernel = _WORKER_KERNELS.get(ref.token)
     if kernel is not None:
+        _WORKER_CACHE_HITS += 1
         return kernel
+    _WORKER_CACHE_MISSES += 1
     if ref.kind == _KIND_SHM:
         kernel = _attach_shm(ref)
     elif ref.kind == _KIND_BLOB:
@@ -281,3 +318,21 @@ def resolve(ref: TreeRef) -> TreeKernel:
 def worker_cache_info() -> Tuple[int, Tuple[str, ...]]:
     """(size, tokens) of this process's resident-kernel cache (testing)."""
     return len(_WORKER_KERNELS), tuple(_WORKER_KERNELS)
+
+
+def worker_cache_stats() -> Dict[str, float]:
+    """Hit/miss counters of this process's resident-kernel cache.
+
+    Module-level and argument-free, so a parent holding a live pool can
+    sample its workers with ``executor.submit(worker_cache_stats)`` (see
+    :meth:`~repro.solvers.engine.SolveEngine.sample_worker_caches`); the
+    ``pid`` field lets the sampler deduplicate which worker answered.
+    """
+    total = _WORKER_CACHE_HITS + _WORKER_CACHE_MISSES
+    return {
+        "pid": os.getpid(),
+        "resident": len(_WORKER_KERNELS),
+        "hits": _WORKER_CACHE_HITS,
+        "misses": _WORKER_CACHE_MISSES,
+        "hit_rate": (_WORKER_CACHE_HITS / total) if total else 0.0,
+    }

@@ -79,6 +79,13 @@ class SolveEngine:
         self._lock = threading.Lock()
         self._warned_unavailable = False
         self._stopping = threading.Event()
+        # observability counters (see snapshot()); guarded by _lock on the
+        # batch path and incremented from the event loop on the submit path
+        self.batches = 0
+        self.cells = 0
+        self.submits = 0
+        self.serial_fallbacks = 0
+        self.broken_pools = 0
 
     # ------------------------------------------------------------------
     # lifecycle: context manager, stop flag
@@ -131,8 +138,11 @@ class SolveEngine:
         cores = os.cpu_count() or 1
         workers = max(1, min(workers, len(cells), 2 * cores))
         with self._lock:
+            self.batches += 1
+            self.cells += len(cells)
             executor = self.pool.ensure(workers)
             if executor is None:
+                self.serial_fallbacks += 1
                 if not self._warned_unavailable:
                     self._warned_unavailable = True
                     warnings.warn(
@@ -180,6 +190,8 @@ class SolveEngine:
                 stacklevel=3,
             )
             with self._lock:
+                self.broken_pools += 1
+                self.serial_fallbacks += 1
                 self.pool.reset()
             return None
         except PicklingError as exc:
@@ -189,6 +201,8 @@ class SolveEngine:
                 RuntimeWarning,
                 stacklevel=3,
             )
+            with self._lock:
+                self.serial_fallbacks += 1
             return None
 
     def submit(self, cell: Cell, workers: int):
@@ -214,8 +228,10 @@ class SolveEngine:
         cores = os.cpu_count() or 1
         workers = max(1, min(workers, 2 * cores))
         with self._lock:
+            self.submits += 1
             executor = self.pool.ensure(workers)
             if executor is None:
+                self.serial_fallbacks += 1
                 if not self._warned_unavailable:
                     self._warned_unavailable = True
                     warnings.warn(
@@ -250,6 +266,63 @@ class SolveEngine:
             self.pool.shutdown()
             self.arena.close()
             self._stopping.clear()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Engine-level instrumentation: dispatch, pool and arena counters.
+
+        Cheap and non-blocking (no worker round trips) -- this is what the
+        service daemon embeds in every ``/stats`` document and exports under
+        ``/metrics``.  The ship-vs-reuse ratio lives under ``arena``
+        (``exports`` vs ``reuses``), the pool's grow/reset event counts
+        under ``pool``; worker kernel-cache hit rates need a worker round
+        trip, so they are sampled separately
+        (:meth:`sample_worker_caches`).
+        """
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "cells": self.cells,
+                "submits": self.submits,
+                "serial_fallbacks": self.serial_fallbacks,
+                "broken_pools": self.broken_pools,
+                "stopping": self._stopping.is_set(),
+                "pool": self.pool.snapshot(),
+                "arena": self.arena.snapshot(),
+            }
+
+    def sample_worker_caches(self, timeout: float = 1.0) -> List[Dict[str, Any]]:
+        """Best-effort worker kernel-cache stats, one entry per worker seen.
+
+        Submits the picklable :func:`~repro.solvers.engine.arena.worker_cache_stats`
+        probe ``2 x workers`` times and deduplicates by pid -- sampling, not
+        a barrier: an idle pool answers from every worker, a busy pool from
+        whichever workers pick the probes up first.  Returns ``[]`` when no
+        pool is alive (serial platforms, or before the first batch).
+        """
+        from .arena import worker_cache_stats
+
+        with self._lock:
+            executor = self.pool.executor
+            workers = self.pool.workers
+        if executor is None or workers < 1:
+            return []
+        futures = []
+        try:
+            for _ in range(2 * workers):
+                futures.append(executor.submit(worker_cache_stats))
+        except RuntimeError:  # pool shut down underneath us
+            return []
+        by_pid: Dict[int, Dict[str, Any]] = {}
+        for future in futures:
+            try:
+                stats = future.result(timeout=timeout)
+            except Exception:
+                continue
+            by_pid[int(stats["pid"])] = stats
+        return [by_pid[pid] for pid in sorted(by_pid)]
 
 
 # ----------------------------------------------------------------------

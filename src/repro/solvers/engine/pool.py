@@ -27,13 +27,22 @@ __all__ = ["PersistentPool"]
 
 
 class PersistentPool:
-    """One reusable process pool, created on demand."""
+    """One reusable process pool, created on demand.
+
+    Lifecycle events are counted (``creations``, ``grows``, ``resets``) so
+    the observability layer can surface how often the pool was (re)built --
+    a growing ``resets`` count on a live service is a worker-crash signal,
+    a growing ``grows`` count means callers keep asking for more workers.
+    """
 
     def __init__(self) -> None:
         self._executor = None
         self._workers = 0
         self._pid = os.getpid()
         self._unavailable = False
+        self.creations = 0
+        self.grows = 0
+        self.resets = 0
 
     # ------------------------------------------------------------------
     def _fork_guard(self) -> None:
@@ -45,6 +54,11 @@ class PersistentPool:
             self._workers = 0
             self._unavailable = False
             self._pid = os.getpid()
+            # the child starts its own lifecycle; inherited counts would
+            # double-report events that happened in the parent
+            self.creations = 0
+            self.grows = 0
+            self.resets = 0
 
     def ensure(self, workers: int):
         """The live executor with at least ``workers`` workers, or ``None``.
@@ -79,6 +93,9 @@ class PersistentPool:
             # crash that batch with a CancelledError it has no reason to
             # expect.  The old workers exit once their queue is empty.
             previous.shutdown(wait=False, cancel_futures=False)
+            self.grows += 1
+        else:
+            self.creations += 1
         self._executor = executor
         self._workers = workers
         return executor
@@ -88,6 +105,7 @@ class PersistentPool:
         self._fork_guard()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+            self.resets += 1
         self._executor = None
         self._workers = 0
 
@@ -110,3 +128,15 @@ class PersistentPool:
     def workers(self) -> int:
         """Worker count of the live executor (0 when none)."""
         return self._workers
+
+    def snapshot(self) -> dict:
+        """Lifecycle counters + current shape (for stats and ``/metrics``)."""
+        self._fork_guard()
+        return {
+            "workers": self._workers,
+            "alive": self._executor is not None,
+            "unavailable": self._unavailable,
+            "creations": self.creations,
+            "grows": self.grows,
+            "resets": self.resets,
+        }

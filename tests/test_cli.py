@@ -7,7 +7,6 @@ import pytest
 from repro.cli import build_parser, main
 from repro.core.serialize import save_tree
 from repro.generators.harpoon import harpoon_tree
-from repro.generators.synthetic import balanced_tree
 
 
 @pytest.fixture
@@ -186,3 +185,74 @@ class TestTrafficBenchCommand:
         assert record["extras"]["rejected"] == 0
         assert record["extras"]["deadline_missed"] == 0
         assert record["extras"]["latency_p99"] > 0
+
+
+class TestReportCommand:
+    @staticmethod
+    def _artifact(path, *, family="synthetic", created="2026-08-08T10:00:00Z"):
+        path.write_text(json.dumps({
+            "schema": "repro-bench-v1",
+            "kind": "campaign",
+            "created_utc": created,
+            "version": "1.7.0",
+            "platform": {"python": "3.11"},
+            "run": {"scale": "smoke"},
+            "records": [{
+                "family": family,
+                "name": f"{family}/t0",
+                "algorithm": "minmem",
+                "best_time": 0.01,
+                "extras": {},
+            }],
+        }))
+        return path
+
+    def test_renders_dashboard_from_paths(self, tmp_path, capsys):
+        art = self._artifact(tmp_path / "BENCH_a.json")
+        out = tmp_path / "dash.html"
+        assert main(["report", str(art), "--output", str(out)]) == 0
+        assert "wrote dashboard over 1 artifact(s)" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "BENCH_a.json" in html
+
+    def test_globs_cwd_when_no_paths(self, tmp_path, capsys, monkeypatch):
+        self._artifact(tmp_path / "BENCH_x.json")
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 0
+        assert (tmp_path / "report.html").is_file()
+
+    def test_no_artifacts_found_fails(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 2
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().err
+
+    def test_missing_path_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "BENCH_gone.json")]) == 2
+        assert "artifact not found" in capsys.readouterr().err
+
+    def test_malformed_artifact_fails(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        assert main(["report", str(bad),
+                     "--output", str(tmp_path / "out.html")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeLoggingFlags:
+    def test_parser_accepts_log_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--stdio", "--log-level", "debug", "--log-json"])
+        assert args.log_level == "debug"
+        assert args.log_json is True
+
+    def test_log_level_defaults_to_info(self):
+        args = build_parser().parse_args(["serve", "--stdio"])
+        assert args.log_level == "info"
+        assert args.log_json is False
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--stdio",
+                                       "--log-level", "loud"])

@@ -410,3 +410,91 @@ class TestLifecycle:
             assert engine.arena.live_segments == exported
         finally:
             engine.shutdown()
+
+
+class TestEngineObservability:
+    def test_counters_and_snapshot_after_batches(self):
+        trees = [chain_tree(6, f=2.0, n=1.0), star_tree(5, n=1.0)]
+        cells = [(tree, "minmem", None, {}) for tree in trees]
+        engine = SolveEngine()
+        try:
+            first = engine.run_batch(cells, workers=2)
+            second = engine.run_batch(cells, workers=2)
+            snap = engine.snapshot()
+            assert snap["batches"] == 2
+            assert snap["cells"] == 4
+            if first is not None:  # pool available on this platform
+                assert second is not None
+                pool = snap["pool"]
+                assert pool["alive"] and pool["creations"] == 1
+                arena = snap["arena"]
+                # scatter-once: 2 distinct trees exported once, reused once
+                assert arena["exports"] == 2
+                assert arena["reuses"] == 2
+                assert arena["shm_exports"] + arena["blob_exports"] == 2
+            else:
+                assert snap["serial_fallbacks"] >= 2
+        finally:
+            engine.shutdown()
+
+    def test_submit_counts_and_fork_safe_counters(self):
+        engine = SolveEngine()
+        # the caller must keep the tree alive until the worker attaches:
+        # segment lifetime is tied to the kernel (weakref.finalize)
+        tree = chain_tree(4, f=1.0, n=1.0)
+        try:
+            future = engine.submit((tree, "minmem", None, {}), workers=2)
+            snap = engine.snapshot()
+            assert snap["submits"] == 1
+            if future is not None:
+                future.result(timeout=60)
+        finally:
+            engine.shutdown()
+
+    def test_pool_snapshot_shape(self):
+        pool = PersistentPool()
+        snap = pool.snapshot()
+        assert snap == {
+            "workers": 0, "alive": False, "unavailable": False,
+            "creations": 0, "grows": 0, "resets": 0,
+        }
+        executor = pool.ensure(2)
+        try:
+            if executor is not None:
+                snap = pool.snapshot()
+                assert snap["alive"] and snap["workers"] == 2
+                assert snap["creations"] == 1
+                pool.ensure(4)  # grow
+                assert pool.snapshot()["grows"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_reset_counts_only_live_pools(self):
+        pool = PersistentPool()
+        pool.reset()  # nothing live: not a reset event
+        assert pool.snapshot()["resets"] == 0
+        if pool.ensure(1) is not None:
+            pool.reset()
+            assert pool.snapshot()["resets"] == 1
+        pool.shutdown()
+
+    def test_worker_cache_stats_probe(self):
+        from repro.solvers.engine.arena import worker_cache_stats
+
+        stats = worker_cache_stats()  # also callable in-process
+        assert set(stats) == {"pid", "resident", "hits", "misses", "hit_rate"}
+        assert stats["pid"] == os.getpid()
+
+        engine = SolveEngine()
+        try:
+            cells = [(chain_tree(5, f=1.0, n=1.0), "minmem", None, {})] * 4
+            if engine.run_batch(cells, workers=2) is not None:
+                samples = engine.sample_worker_caches(timeout=30.0)
+                assert samples, "live pool must answer the probe"
+                for sample in samples:
+                    assert sample["hits"] + sample["misses"] >= 0
+                    assert 0.0 <= sample["hit_rate"] <= 1.0
+            else:
+                assert engine.sample_worker_caches() == []
+        finally:
+            engine.shutdown()

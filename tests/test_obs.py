@@ -1,0 +1,487 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import json
+import logging
+import math
+import random
+from io import StringIO
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonFormatter,
+    KeyValueFormatter,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    REQUEST_STAGES,
+    SpanTimeline,
+    configure_logging,
+    default_latency_bounds,
+    exponential_bounds,
+    get_logger,
+    log_event,
+    parse_exposition,
+    percentile,
+    render_prometheus,
+)
+
+
+# ----------------------------------------------------------------------
+# exact percentile helper
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_sample_is_the_sample(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([3.5], q) == 3.5
+
+    def test_two_samples_interpolate(self):
+        assert percentile([1.0, 3.0], 50.0) == 2.0
+        assert percentile([1.0, 3.0], 0.0) == 1.0
+        assert percentile([1.0, 3.0], 100.0) == 3.0
+        assert percentile([1.0, 3.0], 25.0) == pytest.approx(1.5)
+
+    def test_matches_known_quartiles(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(values, 50.0) == pytest.approx(50.5)
+        assert percentile(values, 25.0) == pytest.approx(25.75)
+
+
+# ----------------------------------------------------------------------
+# bucket ladders
+# ----------------------------------------------------------------------
+class TestBounds:
+    def test_exponential_bounds_shape(self):
+        bounds = exponential_bounds(1e-3, 1.0, per_decade=4)
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 1.0
+        assert len(bounds) == 13  # 3 decades * 4 + 1
+        assert all(b < c for b, c in zip(bounds, bounds[1:]))
+
+    def test_exponential_bounds_validation(self):
+        with pytest.raises(ValueError):
+            exponential_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_bounds(1.0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_bounds(1e-3, 1.0, per_decade=0)
+
+    def test_default_ladder_covers_service_latencies(self):
+        bounds = default_latency_bounds()
+        assert bounds[0] <= 1e-5 and bounds[-1] >= 100.0
+
+
+# ----------------------------------------------------------------------
+# counters and gauges
+# ----------------------------------------------------------------------
+class TestScalars:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge(5.0)
+        g.dec(2.0)
+        g.inc()
+        assert g.value == 4.0
+        g.set(-1.5)
+        assert g.value == -1.5
+
+
+# ----------------------------------------------------------------------
+# streaming histograms
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.quantile(50.0) == 0.0
+        assert h.mean == 0.0
+
+    def test_single_sample_is_exact(self):
+        h = Histogram()
+        h.observe(0.0123)
+        for q in (1.0, 50.0, 99.0):
+            assert h.quantile(q) == pytest.approx(0.0123)
+
+    def test_two_samples_stay_in_range(self):
+        h = Histogram()
+        h.observe(0.001)
+        h.observe(0.1)
+        assert 0.001 <= h.quantile(50.0) <= 0.1
+        assert h.quantile(0.0) == 0.001
+        assert h.quantile(100.0) == 0.1
+
+    def test_bucket_boundary_value_lands_le(self):
+        # Prometheus convention: value == bound counts in that bucket
+        h = Histogram(bounds=[1.0, 2.0])
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(3.0)  # overflow
+        cumulative = h.cumulative_buckets()
+        assert cumulative == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[])
+        with pytest.raises(ValueError):
+            Histogram(bounds=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram(bounds=[2.0, 1.0])
+
+    def test_quantiles_track_the_stream(self):
+        rng = random.Random(7)
+        h = Histogram()
+        samples = [rng.expovariate(20.0) + 1e-4 for _ in range(20000)]
+        for s in samples:
+            h.observe(s)
+        ordered = sorted(samples)
+        for q in (50.0, 95.0, 99.0):
+            exact = percentile(ordered, q)
+            approx = h.quantile(q)
+            assert abs(approx - exact) / exact < 0.22  # ladder error bound
+        assert h.count == len(samples)
+        assert h.mean == pytest.approx(sum(samples) / len(samples))
+
+    def test_percentiles_never_freeze(self):
+        # the regression the histogram design exists for: after any volume
+        # of samples, new observations keep moving the estimate
+        h = Histogram()
+        for _ in range(250_000):
+            h.observe(0.001)
+        frozen_p99 = h.quantile(99.0)
+        for _ in range(250_000):
+            h.observe(1.0)
+        assert h.quantile(99.0) > frozen_p99 * 10
+        # exactly half the mass is high: anything past the median moves too
+        assert h.quantile(60.0) > frozen_p99 * 10
+
+    def test_merge_is_exact(self):
+        a, b = Histogram(), Histogram()
+        rng = random.Random(3)
+        both = Histogram()
+        for i in range(500):
+            value = rng.uniform(1e-4, 2.0)
+            (a if i % 2 else b).observe(value)
+            both.observe(value)
+        a.merge(b)
+        assert a.count == both.count
+        assert a.counts == both.counts
+        assert a.sum == pytest.approx(both.sum)
+        assert a.min == both.min and a.max == both.max
+
+    def test_merge_rejects_mismatched_ladders(self):
+        with pytest.raises(ValueError, match="ladder"):
+            Histogram(bounds=[1.0]).merge(Histogram(bounds=[1.0, 2.0]))
+
+    def test_cumulative_buckets_monotone(self):
+        h = Histogram()
+        rng = random.Random(11)
+        for _ in range(1000):
+            h.observe(rng.uniform(1e-5, 10.0))
+        cumulative = h.cumulative_buckets()
+        counts = [c for _, c in cumulative]
+        assert counts == sorted(counts)
+        assert cumulative[-1] == (math.inf, 1000)
+
+
+# ----------------------------------------------------------------------
+# registry + exposition
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_rejects_bad_names_and_labels(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            reg.counter("0bad", "help")
+        with pytest.raises(ValueError, match="label name"):
+            reg.counter("ok_name", "help", labels={"0bad": "x"})
+
+    def test_rejects_kind_conflicts_and_duplicates(self):
+        reg = MetricsRegistry()
+        reg.counter("m", "help", labels={"a": "1"})
+        with pytest.raises(ValueError, match="already registered as"):
+            reg.gauge("m", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("m", "help", labels={"a": "1"})
+        reg.counter("m", "help", labels={"a": "2"})  # new label set is fine
+
+    def test_attach_live_object(self):
+        reg = MetricsRegistry()
+        h = Histogram(bounds=[1.0])
+        assert reg.attach("lat", "help", h) is h
+        h.observe(0.5)
+        families = {name: kids for name, _, _, kids in reg.collect()}
+        assert families["lat"][0][1].count == 1
+
+
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("svc_requests_total", "Requests.", value=7,
+                    labels={"outcome": "ok"})
+        reg.counter("svc_requests_total", "Requests.", value=2,
+                    labels={"outcome": 'we"ird\\path\n'})
+        reg.gauge("svc_pending", "Pending now.", value=3)
+        h = reg.histogram("svc_latency_seconds", "Latency.",
+                          bounds=[0.01, 0.1, 1.0])
+        for value in (0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        return reg
+
+    def test_renders_and_parses(self):
+        text = render_prometheus(self._registry())
+        assert text.endswith("\n")
+        assert "# HELP svc_requests_total Requests." in text
+        assert "# TYPE svc_requests_total counter" in text
+        assert "# TYPE svc_latency_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "svc_latency_seconds_sum" in text
+        assert "svc_latency_seconds_count 4" in text
+        families = parse_exposition(text)
+        assert families["svc_requests_total"]["type"] == "counter"
+        assert families["svc_latency_seconds"]["type"] == "histogram"
+
+    def test_label_escaping(self):
+        text = render_prometheus(self._registry())
+        assert r'outcome="we\"ird\\path\n"' in text
+
+    def test_histogram_ladder_monotone_in_text(self):
+        text = render_prometheus(self._registry())
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("svc_latency_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 4  # +Inf == count
+
+    def test_parser_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE m sometype\nm 1\n")
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE m counter\n# TYPE m counter\nm 1\n")
+        with pytest.raises(ValueError):
+            parse_exposition("orphan_sample 1\n")
+
+    def test_content_type_is_prometheus_text(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+class TestSpanTimeline:
+    def test_begin_end_durations(self):
+        t = SpanTimeline(origin=100.0)
+        t.begin("parse", at=100.0)
+        t.end("parse", at=100.5)
+        t.begin("solve", at=100.5)
+        t.end("solve", at=102.0)
+        durations = t.durations()
+        assert durations["parse"] == pytest.approx(0.5)
+        assert durations["solve"] == pytest.approx(1.5)
+        assert list(durations) == ["parse", "solve"]  # recording order
+        assert t.elapsed == pytest.approx(2.0)
+        assert "parse" in t and "nope" not in t and len(t) == 2
+
+    def test_repeated_spans_sum(self):
+        t = SpanTimeline(origin=0.0)
+        t.record("parse", 0.0, 1.0)
+        t.record("parse", 2.0, 2.5)
+        assert t.durations()["parse"] == pytest.approx(1.5)
+
+    def test_end_clamps_negative_durations(self):
+        t = SpanTimeline(origin=0.0)
+        t.record("x", 5.0, 4.0)
+        assert t.durations()["x"] == 0.0
+
+    def test_end_if_open_only_closes_open(self):
+        t = SpanTimeline(origin=0.0)
+        t.begin("a", at=1.0)
+        assert t.end_if_open("a", at=2.0) is True
+        assert t.end_if_open("a", at=9.0) is False
+        assert t.durations() == {"a": pytest.approx(1.0)}
+
+    def test_close_open_settles_everything(self):
+        t = SpanTimeline(origin=0.0)
+        t.begin("queued", at=1.0)
+        t.begin("solve", at=2.0)
+        t.close_open(at=3.0)
+        durations = t.durations()
+        assert durations["queued"] == pytest.approx(2.0)
+        assert durations["solve"] == pytest.approx(1.0)
+        t.close_open(at=9.0)  # idempotent: nothing left open
+        assert t.durations() == durations
+
+    def test_to_list_offsets_from_origin(self):
+        t = SpanTimeline(origin=10.0)
+        t.record("solve", 11.0, 11.5)
+        (span,) = t.to_list()
+        assert span == {
+            "stage": "solve",
+            "offset_seconds": pytest.approx(1.0),
+            "duration_seconds": pytest.approx(0.5),
+        }
+
+    def test_request_stage_catalogue(self):
+        assert REQUEST_STAGES == (
+            "parse", "intern", "queued", "dispatch", "solve", "report"
+        )
+
+
+# ----------------------------------------------------------------------
+# structured logging
+# ----------------------------------------------------------------------
+class TestStructLog:
+    def _capture(self, **kwargs):
+        stream = StringIO()
+        root = configure_logging(stream=stream, **kwargs)
+        return root, stream
+
+    def test_key_value_lines(self):
+        root, stream = self._capture(level="debug")
+        log = get_logger("service")
+        log_event(log, "request_complete", id="r-1", status="ok",
+                  total_seconds=0.012345678, note="two words", flag=True,
+                  missing=None)
+        line = stream.getvalue().strip()
+        assert " INFO repro.service request_complete " in line
+        assert "id=r-1" in line
+        assert "total_seconds=0.0123457" in line
+        assert 'note="two words"' in line
+        assert "flag=true" in line and "missing=null" in line
+
+    def test_json_lines(self):
+        root, stream = self._capture(level="info", json_lines=True)
+        log_event(get_logger("bench"), "round_done", round=3, ok=True)
+        doc = json.loads(stream.getvalue())
+        assert doc["logger"] == "repro.bench"
+        assert doc["event"] == "round_done"
+        assert doc["round"] == 3 and doc["ok"] is True
+        assert doc["level"] == "info"
+        assert doc["ts"].endswith("Z")
+
+    def test_level_threshold(self):
+        root, stream = self._capture(level="warning")
+        log = get_logger("service")
+        log_event(log, "quiet")  # INFO, below threshold
+        log_event(log, "loud", level=logging.ERROR)
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_reconfigure_never_stacks_handlers(self):
+        root, _ = self._capture(level="info")
+        for _ in range(3):
+            root, _ = self._capture(level="debug")
+        own = [h for h in root.handlers
+               if getattr(h, "_repro_obs_handler", False)]
+        assert len(own) == 1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("verbose")
+
+    def test_formatters_survive_plain_records(self):
+        # records without a fields dict (foreign callers) still format
+        record = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                                   "plain message", (), None)
+        assert "plain message" in KeyValueFormatter().format(record)
+        assert json.loads(JsonFormatter().format(record))["event"] == "plain message"
+
+
+# ----------------------------------------------------------------------
+# the dashboard renderer
+# ----------------------------------------------------------------------
+class TestDashboard:
+    @staticmethod
+    def _artifact(name, created, records):
+        return {
+            "schema": 1, "kind": "bench", "created_utc": created,
+            "version": "1.7.0",
+            "platform": {"python": "3.11"},
+            "run": {"seed": 0, "workers": 2, "campaign_seconds": 1.25},
+            "records": records,
+            "_path": name, "_name": name,
+        }
+
+    @staticmethod
+    def _record(family, best_time, **extras):
+        return {
+            "scenario": f"{family}_scn", "family": family, "instance": "i0",
+            "algorithm": "minmem", "nodes": 10, "best_time": best_time,
+            "mean_time": best_time, "repeats": 1, "peak_memory": 1.0,
+            "io_volume": None, "optimality_ratio": extras.pop("ratio", None),
+            "memory_limit": None, "budget_fraction": None,
+            "replay_ok": True, "replay_error": None, "extras": extras,
+        }
+
+    def _docs(self):
+        traffic_extras = dict(
+            latency_p50=0.010, latency_p95=0.025, latency_p99=0.040,
+            requests=100, completed=100, rejected=0, deadline_missed=0,
+            throughput_rps=50.0,
+        )
+        return [
+            self._artifact("BENCH_a.json", "2026-08-01T00:00:00Z", [
+                self._record("assembly", 0.002, ratio=1.15),
+                self._record("random", 0.004, ratio=1.02),
+            ]),
+            self._artifact("BENCH_b.json", "2026-08-02T00:00:00Z", [
+                self._record("assembly", 0.0015, ratio=1.10),
+                self._record("traffic", 0.010, **traffic_extras),
+            ]),
+        ]
+
+    def test_renders_all_sections(self):
+        from repro.obs.report import render_dashboard
+
+        page = render_dashboard(self._docs())
+        assert page.startswith("<!DOCTYPE html>")
+        assert "BENCH trajectory" in page
+        assert "assembly" in page and "traffic" in page
+        assert "<svg" in page and "<title>" in page
+        assert "prefers-color-scheme" in page  # dark mode tokens
+        assert "p99" in page and "Table view" in page
+        assert "BENCH_b.json" in page
+        # text never wears series color: labels use ink tokens
+        assert 'class="label"' in page
+
+    def test_empty_input_still_renders(self):
+        from repro.obs.report import render_dashboard
+
+        page = render_dashboard([])
+        assert "no artifacts found" in page
+
+    def test_write_dashboard_round_trip(self, tmp_path):
+        from repro.obs.report import load_artifacts, write_dashboard
+
+        paths = []
+        for doc in self._docs():
+            doc = {k: v for k, v in doc.items() if not k.startswith("_")}
+            path = tmp_path / f"BENCH_{len(paths)}.json"
+            path.write_text(json.dumps(doc))
+            paths.append(path)
+        output = write_dashboard(paths, tmp_path / "report.html")
+        assert output.is_file()
+        text = output.read_text()
+        assert "<svg" in text and "assembly" in text
+        docs = load_artifacts(paths)
+        assert [d["_name"] for d in docs] == ["BENCH_0.json", "BENCH_1.json"]
+
+    def test_load_artifacts_rejects_non_artifacts(self, tmp_path):
+        from repro.obs.report import load_artifacts
+
+        bogus = tmp_path / "nope.json"
+        bogus.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="records"):
+            load_artifacts([bogus])

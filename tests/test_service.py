@@ -509,3 +509,194 @@ class TestHttpFrontEnd:
                 await server.wait_closed()
 
         run(body())
+
+
+# ----------------------------------------------------------------------
+# observability: streaming latencies, spans, /metrics
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_latency_percentiles_move_past_any_sample_volume(self):
+        # regression: the old list-backed stats capped recording at 200k
+        # samples, freezing p50/p95/p99 for the rest of the daemon's life
+        from repro.service.daemon import ServiceStats
+
+        stats = ServiceStats()
+        for _ in range(210_000):
+            stats.record_latency(0.001)
+        frozen = stats.latency_percentiles()
+        for _ in range(60_000):
+            stats.record_latency(2.0)
+        moved = stats.latency_percentiles()
+        assert moved["p99"] > frozen["p99"] * 100
+        assert moved["p95"] > frozen["p95"] * 100
+        assert stats.latency.count == 270_000
+
+    def test_response_carries_stage_breakdown(self):
+        from repro.obs import REQUEST_STAGES
+
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                return await svc.handle({"id": "t1", "tree": PARENTS})
+
+        response = run(body())
+        doc = response.to_dict()
+        stages = doc["timing"]["stages"]
+        assert set(stages) == set(REQUEST_STAGES)
+        assert all(value >= 0.0 for value in stages.values())
+        # the daemon-side stages nest inside the reported total
+        daemon_side = stages["queued"] + stages["dispatch"] + stages["solve"]
+        assert daemon_side <= doc["timing"]["total_seconds"] * 1.5 + 1e-6
+
+    def test_deadline_response_still_reports_stages(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                return await svc.handle({
+                    "id": "d1", "tree": PARENTS, "algorithm": "svc_sleepy",
+                    "deadline": 0.05, "options": {"seconds": 0.5},
+                })
+
+        response = run(body())
+        assert response.status == "deadline"
+        stages = response.stages
+        assert stages is not None and "queued" in stages
+
+    def test_render_metrics_matches_stats(self):
+        from repro.obs import parse_exposition
+
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                await svc.handle({"id": "m1", "tree": PARENTS})
+                await svc.handle({"id": "m2", "tree": {"parents": []}})
+                return svc.render_metrics(), svc.snapshot()
+
+        text, snap = run(body())
+        families = parse_exposition(text)
+        assert families["repro_service_latency_seconds"]["type"] == "histogram"
+        samples = families["repro_service_requests_total"]["samples"]
+        by_outcome = {
+            labels.get("outcome"): value for _, labels, value in samples
+        }
+        assert by_outcome["completed"] == snap["completed"] == 1
+        assert by_outcome["bad_request"] == snap["bad_requests"] == 1
+        assert "repro_build_info" in families
+        assert "repro_service_stage_seconds" in families
+
+    def test_engine_backed_metrics_include_engine_families(self):
+        from repro.obs import parse_exposition
+
+        async def body():
+            svc = SolverService(workers=2, pool="persistent")
+            async with svc:
+                await svc.handle({"id": "e1", "tree": PARENTS})
+                return svc.render_metrics(), svc.snapshot()
+
+        text, snap = run(body())
+        families = parse_exposition(text)
+        assert "repro_engine_submits_total" in families
+        assert "repro_engine_arena_exports_total" in families
+        assert "engine" in snap and snap["engine"]["submits"] >= 1
+
+    def test_http_metrics_endpoint(self):
+        from repro.obs import parse_exposition
+
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                server = await start_http_server(svc, port=0)
+                host, port = server.sockets[0].getsockname()[:2]
+                await self._post_solve(host, port)
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n"
+                )
+                await writer.drain()
+                status = int((await reader.readline()).split()[1])
+                headers = {}
+                while True:
+                    line = (await reader.readline()).decode().strip()
+                    if not line:
+                        break
+                    name, _, value = line.partition(":")
+                    headers[name.lower()] = value.strip()
+                body_bytes = await reader.readexactly(
+                    int(headers["content-length"])
+                )
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                return status, headers, body_bytes.decode()
+
+        status, headers, text = run(body())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["content-type"]
+        families = parse_exposition(text)
+        assert "repro_service_latency_seconds" in families
+
+    @staticmethod
+    async def _post_solve(host, port):
+        payload = json.dumps({"id": "warm", "tree": PARENTS}).encode()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            f"POST /solve HTTP/1.1\r\nContent-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+        await reader.read()
+        writer.close()
+
+    def test_stdio_metrics_op(self):
+        async def body():
+            feed = asyncio.Queue()
+            await feed.put(json.dumps({"id": "a", "tree": PARENTS}))
+            await feed.put(json.dumps({"op": "metrics"}))
+            await feed.put(None)
+            out = []
+
+            async def read_line():
+                return await feed.get()
+
+            async def write_line(text):
+                out.append(json.loads(text))
+
+            async with SolverService(pool="serial") as svc:
+                await serve_stdio(svc, read_line, write_line)
+            return out
+
+        out = run(body())
+        metrics_docs = [d for d in out if d.get("op") == "metrics"]
+        assert len(metrics_docs) == 1
+        doc = metrics_docs[0]
+        assert doc["content_type"].startswith("text/plain")
+        from repro.obs import parse_exposition
+
+        assert "repro_service_accepted_total" in parse_exposition(doc["body"])
+
+    def test_serve_logs_bound_port(self):
+        # `serve --port 0`: the structured http_listening event names the
+        # actually-bound ephemeral port
+        import logging
+        from io import StringIO
+
+        from repro.obs import configure_logging
+
+        stream = StringIO()
+        configure_logging("info", stream=stream)
+        try:
+            async def body():
+                async with SolverService(pool="serial") as svc:
+                    server = await start_http_server(svc, port=0)
+                    port = server.sockets[0].getsockname()[1]
+                    server.close()
+                    await server.wait_closed()
+                    return port
+
+            port = run(body())
+            logged = stream.getvalue()
+            assert "http_listening" in logged
+            assert f"port={port}" in logged
+            assert port != 0
+        finally:
+            root = logging.getLogger("repro")
+            for handler in list(root.handlers):
+                if getattr(handler, "_repro_obs_handler", False):
+                    root.removeHandler(handler)
