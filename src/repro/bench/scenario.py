@@ -41,6 +41,7 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_table",
+    "scenario_digest",
     "select_scenarios",
 ]
 
@@ -164,6 +165,30 @@ def list_scenarios(family: Optional[str] = None) -> List[str]:
 def scenario_table() -> List[Scenario]:
     """All registered scenarios, sorted by (family, name) for display."""
     return sorted(_REGISTRY.values(), key=lambda s: (s.family, s.name))
+
+
+def scenario_digest(name: str, seed: int = 0) -> int:
+    """crc32 over a scenario's instance names and flat tree arrays.
+
+    Two processes agreeing on the digest built the byte-identical
+    instances: the digest covers every instance name, parent array and
+    weight vector, serialised canonically (JSON, crc32 -- never
+    ``hash()``, which varies with ``PYTHONHASHSEED``).  The cross-process
+    determinism tests compare it across spawn- and fork-started
+    interpreters, where any hidden dependence on interpreter state or
+    inherited globals would surface as a mismatch.
+    """
+    import json
+    import zlib
+
+    digest = 0
+    for instance, tree in get_scenario(name).build(seed):
+        kern = tree.kernel()
+        blob = json.dumps(
+            [instance, kern.parent, kern.f, kern.n], separators=(",", ":")
+        )
+        digest = zlib.crc32(blob.encode("utf-8"), digest)
+    return digest
 
 
 def select_scenarios(

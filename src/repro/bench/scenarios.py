@@ -58,7 +58,12 @@ from ..generators.synthetic import (
 )
 from .scenario import register_scenario
 
-__all__ = ["MINMEMORY_ALGORITHMS", "BUDGETED_ALGORITHMS", "IN_CORE_ALGORITHMS"]
+__all__ = [
+    "MINMEMORY_ALGORITHMS",
+    "BUDGETED_ALGORITHMS",
+    "IN_CORE_ALGORITHMS",
+    "PORTFOLIO_ALGORITHMS",
+]
 
 #: the three MinMemory solvers compared throughout the paper
 MINMEMORY_ALGORITHMS = ("postorder", "liu", "minmem")
@@ -66,7 +71,10 @@ MINMEMORY_ALGORITHMS = ("postorder", "liu", "minmem")
 #: budgeted solvers added on families where out-of-core behaviour matters
 BUDGETED_ALGORITHMS = ("explore", "minio_first_fit", "minio_lsnf")
 
-#: every registered in-core (unbudgeted) solver -- the service traffic mix
+#: every registered in-core (unbudgeted) solver -- the service traffic mix.
+#: Deliberately excludes ``auto``: the portfolio routes *to* these, and the
+#: traffic request streams built from this tuple must stay byte-identical
+#: across releases (tests/test_traffic_determinism.py pins their digests)
 IN_CORE_ALGORITHMS = (
     "postorder",
     "postorder_natural",
@@ -75,6 +83,10 @@ IN_CORE_ALGORITHMS = (
     "minmem",
 )
 
+#: the portfolio entry, benchmarked on every family so each campaign
+#: artifact records auto-vs-best-single evidence (tools/fit_portfolio.py)
+PORTFOLIO_ALGORITHMS = ("auto",)
+
 
 # ----------------------------------------------------------------------
 # synthetic: deterministic parametric shapes
@@ -82,7 +94,7 @@ IN_CORE_ALGORITHMS = (
 @register_scenario(
     "synthetic",
     family="synthetic",
-    algorithms=MINMEMORY_ALGORITHMS + ("minio_first_fit",),
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS + ("minio_first_fit",),
     summary="deterministic parametric shapes (balanced, broom, bamboo, Sethi-Ullman)",
     tags=("deterministic",),
     smoke=True,
@@ -105,7 +117,7 @@ def _synthetic(seed: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "random",
     family="random",
-    algorithms=MINMEMORY_ALGORITHMS + BUDGETED_ALGORITHMS,
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS + BUDGETED_ALGORITHMS,
     summary="seeded random shapes (attachment, binary, caterpillar) with VI-E weights",
     tags=("seeded",),
     smoke=True,
@@ -131,7 +143,7 @@ def _random(seed: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "harpoon",
     family="harpoon",
-    algorithms=MINMEMORY_ALGORITHMS,
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS,
     summary="iterated harpoons of Theorem 1 (postorder worst cases)",
     tags=("deterministic", "worst-case"),
     smoke=True,
@@ -152,7 +164,8 @@ def _harpoon(seed: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "assembly",
     family="assembly",
-    algorithms=MINMEMORY_ALGORITHMS + ("minio_first_fit", "minio_lsnf"),
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS
+               + ("minio_first_fit", "minio_lsnf"),
     summary="assembly trees of synthetic SPD matrices (orderings x amalgamation)",
     tags=("sparse",),
     smoke=True,
@@ -190,7 +203,7 @@ def _etree_instance(name: str, matrix, tmpdir: str) -> Tuple[str, Tree]:
 @register_scenario(
     "large",
     family="large",
-    algorithms=MINMEMORY_ALGORITHMS,
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS,
     summary="kernel-scale instances (100k-node chain, 88k harpoon, deep random)",
     tags=("scale", "kernel"),
     smoke=False,
@@ -214,7 +227,7 @@ def _large(seed: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "sparse_pipeline",
     family="sparse_pipeline",
-    algorithms=MINMEMORY_ALGORITHMS,
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS,
     summary="grid-Laplacian assembly trees at 10k-250k rows "
             "(vectorized ordering -> etree -> counts -> amalgamation)",
     tags=("sparse", "scale", "kernel"),
@@ -318,7 +331,7 @@ def _service_traffic(seed: int, count: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "service",
     family="service",
-    algorithms=IN_CORE_ALGORITHMS,
+    algorithms=IN_CORE_ALGORITHMS + PORTFOLIO_ALGORITHMS,
     summary="request-traffic simulation: 320 small heterogeneous trees "
             "x all in-core algorithms",
     tags=("seeded", "traffic", "batch"),
@@ -338,7 +351,7 @@ def _service(seed: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "service_burst",
     family="service",
-    algorithms=IN_CORE_ALGORITHMS,
+    algorithms=IN_CORE_ALGORITHMS + PORTFOLIO_ALGORITHMS,
     summary="request-traffic simulation at full scale: 2000 small "
             "heterogeneous trees x all in-core algorithms",
     tags=("seeded", "traffic", "batch", "scale"),
@@ -357,7 +370,7 @@ def _service_burst(seed: int) -> List[Tuple[str, Tree]]:
 @register_scenario(
     "etree",
     family="etree",
-    algorithms=MINMEMORY_ALGORITHMS,
+    algorithms=MINMEMORY_ALGORITHMS + PORTFOLIO_ALGORITHMS,
     summary="elimination trees of matrices round-tripped through MatrixMarket",
     tags=("sparse", "mmio"),
     smoke=True,

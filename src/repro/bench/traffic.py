@@ -55,6 +55,8 @@ __all__ = [
     "list_traffic_scenarios",
     "select_traffic_scenarios",
     "build_request_docs",
+    "request_stream_digest",
+    "portfolio_baseline",
     "arrival_schedule",
     "run_traffic_scenarios",
     "ARRIVAL_PROCESSES",
@@ -203,6 +205,67 @@ def build_request_docs(
             doc["deadline"] = cell.deadline
         docs.append(doc)
     return docs
+
+
+def request_stream_digest(scenario_name: str, cell_index: int, seed: int) -> int:
+    """crc32 of a cell's full request stream, canonically serialised.
+
+    The digest covers every byte a client would put on the wire (the docs
+    in arrival order, JSON with sorted keys) plus the arrival schedule, so
+    two processes agreeing on the digest agree on the exact traffic.  Used
+    by the cross-process determinism tests to assert that spawn- and
+    fork-started interpreters generate byte-identical streams (nothing in
+    the pipeline may depend on ``PYTHONHASHSEED`` or interpreter state).
+    """
+    import zlib
+
+    scenario = get_traffic_scenario(scenario_name)
+    cell = scenario.cells[cell_index]
+    payload = {
+        "docs": build_request_docs(scenario, cell, seed),
+        "schedule": arrival_schedule(cell, seed),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("utf-8"))
+
+
+def portfolio_baseline(scenario: TrafficScenario, seed: int) -> Dict[str, Any]:
+    """How ``auto`` fares against the best *fixed* algorithm on a tree mix.
+
+    Solves every tree of the scenario's mix with ``auto`` and with each
+    in-core algorithm, and reports: the single fixed algorithm a operator
+    would have pinned (lowest total peak over the mix), auto's worst and
+    mean peak ratio against the per-tree best, and how often auto matches
+    it exactly.  Attached to ``service_auto`` records so the committed
+    traffic artifacts carry the portfolio's optimality evidence.
+    """
+    from ..solvers import solve
+
+    mix = _service_traffic(seed, scenario.tree_count)
+    fixed_totals = {name: 0.0 for name in IN_CORE_ALGORITHMS}
+    ratios = []
+    exact = 0
+    for _, tree in mix:
+        kern = tree.kernel()
+        peaks = {
+            name: solve(kern, name).peak_memory for name in IN_CORE_ALGORITHMS
+        }
+        for name, peak in peaks.items():
+            fixed_totals[name] += peak
+        best = min(peaks.values())
+        auto_peak = solve(kern, "auto").peak_memory
+        ratios.append(auto_peak / best if best else 1.0)
+        if auto_peak == best:
+            exact += 1
+    best_fixed = min(fixed_totals, key=lambda name: (fixed_totals[name], name))
+    return {
+        "trees": len(mix),
+        "best_fixed_algorithm": best_fixed,
+        "best_fixed_total_peak": fixed_totals[best_fixed],
+        "auto_worst_ratio": max(ratios),
+        "auto_mean_ratio": sum(ratios) / len(ratios),
+        "auto_exact_fraction": exact / len(mix),
+    }
 
 
 def arrival_schedule(cell: TrafficCell, seed: int) -> List[float]:
@@ -507,6 +570,12 @@ def run_traffic_scenarios(
     async def _run() -> List[BenchRecord]:
         records: List[BenchRecord] = []
         for scenario in scenarios:
+            # portfolio scenarios carry their optimality evidence: how the
+            # routed choice compares against pinning one fixed algorithm
+            baseline = (
+                portfolio_baseline(scenario, seed)
+                if "auto" in scenario.algorithms else None
+            )
             for cell in scenario.cells:
                 service = SolverService(
                     workers=workers,
@@ -522,14 +591,15 @@ def run_traffic_scenarios(
                         service, scenario, cell,
                         seed=seed, transport=transport,
                     )
-                records.append(
-                    _cell_record(
-                        scenario, cell, outcome, stats,
-                        transport=transport,
-                        pool=service.pool_mode,
-                        workers=service.workers,
-                    )
+                record = _cell_record(
+                    scenario, cell, outcome, stats,
+                    transport=transport,
+                    pool=service.pool_mode,
+                    workers=service.workers,
                 )
+                if baseline is not None:
+                    record.extras["portfolio_baseline"] = baseline
+                records.append(record)
         return records
 
     records = asyncio.run(_run())
@@ -582,6 +652,26 @@ register_traffic_scenario(TrafficScenario(
         ),
     ),
     tags=("open-loop", "poisson"),
+))
+
+register_traffic_scenario(TrafficScenario(
+    name="service_auto",
+    summary="every request solved with the 'auto' portfolio over a mixed "
+            "64-tree shape mix; records carry the auto-vs-best-fixed "
+            "baseline in extras['portfolio_baseline']",
+    tree_count=64,
+    cells=(
+        TrafficCell(
+            name="poisson-r40", arrival="poisson", requests=200, rate=40.0,
+            deadline=15.0,
+        ),
+        TrafficCell(
+            name="burst-b16-r80", arrival="burst", requests=200, rate=80.0,
+            burst_size=16, deadline=15.0,
+        ),
+    ),
+    algorithms=("auto",),
+    tags=("open-loop", "portfolio"),
 ))
 
 register_traffic_scenario(TrafficScenario(

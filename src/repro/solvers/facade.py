@@ -109,6 +109,7 @@ def solve(
     algorithm: str = "minmem",
     *,
     memory: Optional[float] = None,
+    reuse: Optional[Any] = None,
     **options: Any,
 ) -> SolveReport:
     """Run one registered solver on ``tree`` and return its report.
@@ -124,6 +125,14 @@ def solve(
     memory : float, optional
         Main-memory budget, forwarded to solvers that take one (``explore``
         and the ``minio`` family); the in-core MinMemory solvers ignore it.
+    reuse : True or SolveReport, optional
+        Incremental re-solve for the postorder/Liu solvers: pass a previous
+        report (of the same algorithm on the tree before its latest
+        mutations) to re-solve only the mutated nodes' root paths, or
+        ``True`` to bootstrap -- solve from scratch but retain the per-node
+        state a later ``reuse=report`` call resumes from.  The result is
+        bit-identical to a from-scratch solve either way; see
+        :mod:`repro.solvers.incremental`.
     options
         Solver-specific keyword options (e.g. ``rule=`` for ``postorder``,
         ``heuristic=`` for ``minio``, ``reuse_states=`` for ``minmem``,
@@ -148,6 +157,12 @@ def solve(
     >>> solve(chain_tree(4, f=1.0, n=1.0), "minmem").peak_memory
     3.0
     """
+    if reuse is not None:
+        from .incremental import solve_incremental
+
+        return solve_incremental(
+            tree, algorithm, memory=memory, reuse=reuse, **options
+        )
     return _dispatch(tree, algorithm, memory, options, strict=True)
 
 

@@ -1,0 +1,63 @@
+"""Hypothesis strategies shared by the differential-testing suite.
+
+Trees are built with integer node ids ``0..p-1`` in insertion order and
+exact (small-integer-valued) float weights, so every solver comparison in
+this suite can assert *bit identity* -- ``==`` on peaks and traversals,
+no tolerances.  Mutations are drawn interactively (``st.data()``) because
+each op's legal arguments depend on the tree the previous ops produced.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.tree import Tree
+
+#: exact float weights: integers survive every fsum/merge unchanged
+f_weights = st.integers(min_value=0, max_value=12).map(float)
+n_weights = st.integers(min_value=0, max_value=6).map(float)
+
+
+@st.composite
+def task_trees(draw, min_nodes: int = 1, max_nodes: int = 40) -> Tree:
+    """Random parent-attachment trees with integer ids and exact weights."""
+    size = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    tree = Tree()
+    tree.add_node(0, f=draw(f_weights), n=draw(n_weights))
+    for i in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        tree.add_node(i, parent=parent, f=draw(f_weights), n=draw(n_weights))
+    return tree
+
+
+def draw_mutations(data, tree: Tree, max_ops: int = 6) -> int:
+    """Apply 1..max_ops drawn mutations to ``tree`` in place; the op count.
+
+    Ops cover the full mutating surface that feeds the incremental path:
+    ``add_node`` (fresh integer id, drawn parent), ``set_f`` and ``set_n``
+    on a drawn existing node.
+    """
+    ops = data.draw(st.integers(min_value=1, max_value=max_ops), label="ops")
+    for _ in range(ops):
+        kind = data.draw(st.sampled_from(("add", "f", "n")), label="kind")
+        if kind == "add":
+            parent = data.draw(
+                st.integers(min_value=0, max_value=tree.size - 1), label="parent"
+            )
+            tree.add_node(
+                tree.size,
+                parent=parent,
+                f=data.draw(f_weights, label="f"),
+                n=data.draw(n_weights, label="n"),
+            )
+        elif kind == "f":
+            node = data.draw(
+                st.integers(min_value=0, max_value=tree.size - 1), label="node"
+            )
+            tree.set_f(node, data.draw(f_weights, label="value"))
+        else:
+            node = data.draw(
+                st.integers(min_value=0, max_value=tree.size - 1), label="node"
+            )
+            tree.set_n(node, data.draw(n_weights, label="value"))
+    return ops

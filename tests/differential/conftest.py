@@ -1,0 +1,35 @@
+"""Hypothesis configuration for the differential-testing suite.
+
+Two profiles:
+
+* ``differential`` (default) -- deadlines off (solver sweeps on drawn
+  trees are fast but not micro-benchmark fast), moderate example counts;
+* ``ci`` -- the same settings plus ``print_blob`` so a CI failure prints
+  the reproduction blob; the workflow selects it with
+  ``HYPOTHESIS_PROFILE=ci`` and pins ``--hypothesis-seed`` so every run
+  draws the same examples (a red CI must be reproducible locally).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, settings
+
+# make _diff_strategies importable however pytest was invoked
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+settings.register_profile(
+    "differential",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile(
+    "ci",
+    settings.get_profile("differential"),
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "differential"))

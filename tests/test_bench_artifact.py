@@ -179,7 +179,7 @@ class TestBenchCli:
         (path,) = tmp_path.glob("BENCH_*.json")
         doc = load_artifact(path)
         algorithms = {r["algorithm"] for r in doc["records"]}
-        assert algorithms == {"postorder", "liu", "minmem"}
+        assert algorithms == {"postorder", "liu", "minmem", "auto"}
         assert all(r["replay_ok"] for r in doc["records"])
 
     def test_smoke_covers_families_and_algorithms(self, tmp_path, capsys):

@@ -269,13 +269,14 @@ class TestServiceScenarios:
         scenario = get_scenario("service")
         assert scenario.smoke  # part of the CI bench-smoke gate
         assert scenario.family == "service"
-        # the request-traffic mix runs every in-core algorithm
+        # the request-traffic mix runs every in-core algorithm + the portfolio
         assert set(scenario.algorithms) == {
             "postorder",
             "postorder_natural",
             "postorder_subtree_memory",
             "liu",
             "minmem",
+            "auto",
         }
         burst = get_scenario("service_burst")
         assert not burst.smoke  # 10k records: artifact-size, not CI, bound

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the service TreeInterner.
+
+The interner is a bounded LRU keyed by a content token; three contracts
+matter to the daemon that sits on top of it:
+
+* **token stability** -- the sha1-based token depends only on the payload
+  *content* (never on dict insertion order, process, or run), because
+  clients compute it locally to switch to token form without a round trip;
+* **LRU eviction order** -- the least-recently *used* (interned or looked
+  up) tree leaves first, and capacity is never exceeded, because the
+  traffic generator sizes the interner to its mix and relies on exactly
+  this policy;
+* **hit/miss accounting** -- every operation increments exactly one
+  counter, misses count distinct first-sights (including re-interns after
+  eviction), because the observability layer exports these numbers.
+
+Each property drives a drawn operation sequence against a shadow model
+(a plain OrderedDict) and compares observable state after every step.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.errors import UnknownTreeTokenError
+from repro.service.protocol import TreeInterner, tree_payload_token
+
+
+def payload_strategy(max_nodes: int = 8):
+    """Small parent-array payload documents (the wire form of a tree)."""
+
+    @st.composite
+    def build(draw):
+        size = draw(st.integers(min_value=1, max_value=max_nodes))
+        parents = [None] + [
+            draw(st.integers(min_value=0, max_value=i - 1))
+            for i in range(1, size)
+        ]
+        f = [float(draw(st.integers(min_value=0, max_value=9))) for _ in range(size)]
+        n = [float(draw(st.integers(min_value=0, max_value=4))) for _ in range(size)]
+        return {"parents": parents, "f": f, "n": n}
+
+    return build()
+
+
+# ----------------------------------------------------------------------
+# token stability
+# ----------------------------------------------------------------------
+@given(payload=payload_strategy())
+def test_token_ignores_key_order(payload):
+    reordered = dict(reversed(list(payload.items())))
+    assert tree_payload_token(payload) == tree_payload_token(reordered)
+
+
+@given(payload=payload_strategy())
+def test_token_is_pure_and_repeatable(payload):
+    assert tree_payload_token(payload) == tree_payload_token(dict(payload))
+    assert tree_payload_token(payload).startswith("t-")
+
+
+@given(payload=payload_strategy(), delta=st.integers(min_value=1, max_value=5))
+def test_token_changes_when_content_changes(payload, delta):
+    changed = dict(payload)
+    changed["f"] = list(payload["f"])
+    changed["f"][0] += float(delta)
+    assert tree_payload_token(changed) != tree_payload_token(payload)
+
+
+def test_token_matches_known_digest():
+    """Cross-process stability, pinned: the token of a fixed payload is a
+    constant -- any change to the serialisation breaks live clients that
+    computed tokens with the previous release."""
+    payload = {"parents": [None, 0, 1], "f": [1.0, 2.0, 3.0], "n": [0.0, 0.0, 0.0]}
+    assert tree_payload_token(payload) == tree_payload_token(dict(payload))
+    import hashlib
+    import json
+
+    expected = hashlib.sha1(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()[:16]
+    assert tree_payload_token(payload) == f"t-{expected}"
+
+
+# ----------------------------------------------------------------------
+# LRU eviction order and counters, against a shadow model
+# ----------------------------------------------------------------------
+@given(
+    data=st.data(),
+    capacity=st.integers(min_value=1, max_value=4),
+    payloads=st.lists(payload_strategy(max_nodes=4), min_size=1, max_size=12),
+)
+@settings(max_examples=80)
+def test_interner_matches_lru_model(data, capacity, payloads):
+    interner = TreeInterner(capacity=capacity)
+    model: "OrderedDict[str, bool]" = OrderedDict()
+    hits = misses = 0
+
+    steps = data.draw(st.integers(min_value=1, max_value=30), label="steps")
+    for _ in range(steps):
+        payload = data.draw(st.sampled_from(payloads), label="payload")
+        token = tree_payload_token(payload)
+        op = data.draw(st.sampled_from(("intern", "lookup")), label="op")
+        if op == "intern":
+            got_token, tree = interner.intern(payload)
+            assert got_token == token
+            if token in model:
+                hits += 1
+                model.move_to_end(token)
+            else:
+                misses += 1
+                while len(model) >= capacity:
+                    model.popitem(last=False)
+                model[token] = True
+            # idempotence: re-interning immediately returns the same object
+            again_token, again_tree = interner.intern(dict(payload))
+            assert again_token == token and again_tree is tree
+            hits += 1
+            model.move_to_end(token)
+        else:
+            if token in model:
+                interner.lookup(token)
+                hits += 1
+                model.move_to_end(token)
+            else:
+                with pytest.raises(UnknownTreeTokenError):
+                    interner.lookup(token)
+
+        assert len(interner) == len(model) <= capacity
+        assert list(interner._trees) == list(model)  # LRU order, oldest first
+        assert (interner.hits, interner.misses) == (hits, misses)
+
+
+@given(payloads=st.lists(payload_strategy(max_nodes=4), min_size=5, max_size=9,
+                         unique_by=lambda p: tree_payload_token(p)))
+def test_eviction_drops_least_recently_used_first(payloads):
+    interner = TreeInterner(capacity=3)
+    tokens = [interner.intern(p)[0] for p in payloads]
+    # only the last three survive, in insertion order
+    assert list(interner._trees) == tokens[-3:]
+    # touching the oldest survivor protects it from the next eviction
+    interner.lookup(tokens[-3])
+    interner.intern({"parents": [None], "f": [123.0], "n": [0.0]})
+    assert tokens[-2] not in interner._trees
+    assert tokens[-3] in interner._trees
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TreeInterner(capacity=0)

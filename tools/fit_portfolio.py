@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Fit / validate the ``"auto"`` portfolio routing table from BENCH data.
+
+The decision list in :data:`repro.solvers.portfolio.ROUTING_TABLE` is
+*data*, fitted offline from a committed campaign artifact.  This tool
+re-derives the evidence behind it and fails when the table stops being
+supported:
+
+1. load a schema-v1 campaign artifact (default: the newest committed
+   ``BENCH_*.json`` holding MinMemory records);
+2. rebuild the artifact's instances with its own seed and extract
+   :func:`~repro.solvers.portfolio.tree_features` for each;
+3. predict what ``auto`` would do -- route through the table below the
+   race threshold, race postorder/liu above it -- and join the predicted
+   algorithm's *committed* peak against the best single algorithm's;
+4. print a per-rule summary and exit non-zero if any instance exceeds
+   ``TOLERANCE`` (the 1.05x acceptance bound) or any rule never fires.
+
+Run it after re-benchmarking (``repro bench ...``) to confirm the table,
+or with ``--thresholds`` to inspect the feature/ratio scatter that
+motivated each rule before editing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.scenario import get_scenario  # noqa: E402
+from repro.solvers.portfolio import (  # noqa: E402
+    RACE_CANDIDATES,
+    RACE_NODE_THRESHOLD,
+    ROUTING_TABLE,
+    TOLERANCE,
+    route,
+    tree_features,
+)
+
+#: algorithms whose committed peaks define "best single" for the portfolio
+CANDIDATES = ("postorder", "liu", "minmem")
+
+
+def newest_campaign_artifact(root: Path) -> Path:
+    """The committed BENCH artifact covering the most tree families.
+
+    Routing rules are per-family, so a narrow artifact (e.g. a
+    service-only traffic run) cannot exercise the whole table; prefer
+    breadth, break ties toward the most recent file.
+    """
+    best = None
+    for path in sorted(root.glob("BENCH_*.json"), reverse=True):
+        doc = json.loads(path.read_text())
+        families = {
+            r["scenario"]
+            for r in doc.get("records", [])
+            if r["algorithm"] in CANDIDATES
+        }
+        if families and (best is None or len(families) > best[0]):
+            best = (len(families), path)
+    if best is None:
+        raise SystemExit(f"no campaign artifact with MinMemory records under {root}")
+    return best[1]
+
+
+def load_peaks(doc: dict) -> dict:
+    """``(scenario, instance) -> {algorithm: peak_memory}`` from the records."""
+    peaks: dict = defaultdict(dict)
+    for record in doc["records"]:
+        if record["algorithm"] in CANDIDATES:
+            peaks[(record["scenario"], record["instance"])][
+                record["algorithm"]
+            ] = record["peak_memory"]
+    return peaks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="campaign artifact to validate against (default: newest BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--thresholds",
+        action="store_true",
+        help="also print every instance's features next to its postorder ratio",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    artifact = args.artifact or newest_campaign_artifact(root)
+    doc = json.loads(Path(artifact).read_text())
+    seed = doc["run"]["seed"]
+    peaks = load_peaks(doc)
+    scenarios = sorted({scenario for scenario, _ in peaks})
+    print(f"artifact : {artifact}")
+    print(f"seed     : {seed}")
+    print(f"families : {', '.join(scenarios)}")
+    print()
+
+    fired = defaultdict(int)
+    worst = defaultdict(float)
+    violations = []
+    for scenario_name in scenarios:
+        builder = get_scenario(scenario_name).builder
+        for instance, tree in builder(seed):
+            by_alg = peaks.get((scenario_name, instance))
+            if not by_alg:
+                continue  # instance not benchmarked (filtered run)
+            features = tree_features(tree.kernel())
+            if features["nodes"] >= RACE_NODE_THRESHOLD:
+                rule = "(race)"
+                auto_peak = min(
+                    by_alg[a] for a in RACE_CANDIDATES if a in by_alg
+                )
+            else:
+                rule, predicted = route(features)
+                if predicted not in by_alg:
+                    continue  # routed algorithm not in this family's sweep
+                auto_peak = by_alg[predicted]
+            best = min(by_alg.values())
+            ratio = auto_peak / best if best else 1.0
+            fired[rule] += 1
+            worst[rule] = max(worst[rule], ratio)
+            if ratio > TOLERANCE:
+                violations.append((scenario_name, instance, rule, ratio))
+            if args.thresholds:
+                postorder_ratio = (
+                    by_alg.get("postorder", float("nan")) / best if best else 1.0
+                )
+                print(
+                    f"{scenario_name}/{instance}: rule={rule} "
+                    f"postorder_ratio={postorder_ratio:.3f} "
+                    + " ".join(f"{k}={v:.3g}" for k, v in features.items())
+                )
+
+    print(f"{'rule':<18} {'fires':>6} {'worst auto/best':>16}")
+    for entry in ROUTING_TABLE:
+        rule = entry["rule"]
+        print(f"{rule:<18} {fired.get(rule, 0):>6} {worst.get(rule, 0.0):>16.4f}")
+    if "(race)" in fired:
+        print(f"{'(race)':<18} {fired['(race)']:>6} {worst['(race)']:>16.4f}")
+    print()
+
+    status = 0
+    for entry in ROUTING_TABLE:
+        if entry["rule"] != "default" and not fired.get(entry["rule"]):
+            print(f"DEAD RULE: {entry['rule']!r} never fired on this artifact")
+            status = 1
+    for scenario_name, instance, rule, ratio in violations:
+        print(
+            f"VIOLATION: {scenario_name}/{instance} via {rule}: "
+            f"auto/best = {ratio:.4f} > {TOLERANCE}"
+        )
+        status = 1
+    print("routing table OK" if status == 0 else "routing table REJECTED")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
