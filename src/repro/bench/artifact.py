@@ -19,7 +19,12 @@ machines.  The document layout (schema version 1):
         "seed": 0, "repeat": 3, "warmup": 1, "workers": null,
         "pool": null,                  # executor mode (null = persistent engine)
         "campaign_seconds": 12.3,      # end-to-end campaign wall time
-        "scenarios": ["assembly", ...]
+        "scenarios": ["assembly", ...],
+        "extras": {                    # run-level execution metadata
+          "backend": "persistent",     # resolved executor backend name
+          "work_units": 12,            # futures submitted by the planner
+          "straggler_resplits": 0      # work units split and resubmitted
+        }
       },
       "records": [ {                   # one object per benchmark cell
         "key": "random/binary-48/minmem",
@@ -121,6 +126,9 @@ def run_to_dict(run: BenchRun, *, created_utc: Optional[str] = None) -> Dict[str
             # included), unlike the per-solver wall_time stamps
             "campaign_seconds": run.campaign_seconds,
             "scenarios": list(run.scenarios),
+            # run-level execution metadata: the resolved backend name and
+            # the planner's work-splitting counters
+            "extras": dict(run.extras),
         },
         "records": records,
     }

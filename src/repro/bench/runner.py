@@ -16,29 +16,38 @@ Budgeted solvers (``explore``, the ``minio`` family) are additionally swept
 over the scenario's ``budget_fractions``, interpolating between the trivial
 lower bound ``max MemReq`` and the in-core optimal peak.
 
-Execution is a *campaign plan*: with the default ``pool="persistent"`` each
-scenario's full cell grid is expanded into batched fan-outs over the
-persistent shared-memory engine (:mod:`repro.solvers.engine`) -- first the
-plain (unbudgeted) algorithms for every instance and round, then, once the
-reference peaks are known, every budgeted (algorithm, budget, round) cell
-across all instances at once.  Warmup cells fan out (and complete) before
-the timed cells of the same stage, so warmup keeps its meaning under
-parallel execution.  The budget sweeps that the per-call pool ran
-as serial size-1 batches therefore parallelize, worker processes persist
-across rounds, and each tree ships to the workers exactly once.
-``pool="fresh"`` and ``pool="serial"`` keep the legacy loop structure (one
-``solve_many`` call per round, one one-shot pool per call) for comparison;
-all modes produce bit-identical reports.
+Execution is a *campaign plan*: each scenario's full cell grid is expanded
+into fan-outs over an executor backend (:mod:`repro.solvers.engine`) --
+first the plain (unbudgeted) algorithms for every instance and round,
+then, once the reference peaks are known, every budgeted (algorithm,
+budget, round) cell across all instances at once.  Warmup cells fan out
+(and complete) before the timed cells of the same stage, so warmup keeps
+its meaning under parallel execution.
+
+The planner is backend-generic: ``pool=`` names any registered executor
+backend (:data:`~repro.solvers.facade.POOL_MODES`), and backends that hand
+out futures (``persistent``, ``threads``, ``dask``) get *work-splitting* --
+each grid is cut into about ``saturate_factor x workers`` contiguous work
+units submitted as one future each, so workers stay saturated without
+per-cell dispatch overhead -- plus *straggler re-splitting*: a unit still
+running after ``straggler_factor x`` the median unit round trip is split
+in half and resubmitted, and whichever copy of a cell finishes first wins
+(results are deduplicated by cell index, deterministic because every
+solver is).  Backends without futures (``serial``, ``fresh``) run each
+grid as one blocking batch.  All modes produce bit-identical reports.
 """
 
 from __future__ import annotations
 
+import statistics
+import time
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.tree import Tree
-from ..solvers.facade import POOL_MODES, _solve_task, solve_many
+from ..solvers.facade import POOL_MODES, _solve_task
 from ..solvers.registry import get_solver
 from ..solvers.report import SolveReport
 from .replay import ReplayError, replay_report
@@ -93,7 +102,9 @@ class BenchRun:
     end-to-end wall time of :func:`run_scenarios` -- tree building, solver
     rounds, replay validation and record assembly included -- which is the
     number that exposes dispatch overhead invisible to the per-solver
-    ``wall_time`` stamps.
+    ``wall_time`` stamps.  ``extras`` carries run-level execution metadata:
+    the resolved backend name, the number of work units submitted, and how
+    many straggler re-splits fired.
     """
 
     records: Tuple[BenchRecord, ...]
@@ -104,6 +115,7 @@ class BenchRun:
     scenarios: Tuple[str, ...]
     pool: Optional[str] = None
     campaign_seconds: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def families(self) -> Tuple[str, ...]:
@@ -170,6 +182,8 @@ def run_scenarios(
     validate: bool = True,
     engine: Optional[str] = None,
     pool: Optional[str] = None,
+    saturate_factor: float = 2.0,
+    straggler_factor: float = 4.0,
 ) -> BenchRun:
     """Execute ``scenarios`` and collect one record per benchmark cell.
 
@@ -199,13 +213,22 @@ def run_scenarios(
         (the original per-node implementations).  ``None`` leaves the
         solvers on their default.
     pool:
-        Executor mode.  ``None`` or ``"persistent"`` run the campaign plan
-        on the persistent shared-memory engine: one plan per scenario,
-        budget sweeps parallelized, workers and resident trees reused
-        across rounds.  ``"fresh"`` keeps the legacy structure -- one
-        ``solve_many`` call (and one one-shot process pool) per round, plus
-        serial size-1 batches per budget step; ``"serial"`` does the same
+        Executor backend for the campaign, any name in
+        :data:`~repro.solvers.facade.POOL_MODES` (``None`` = the default
+        ``"persistent"`` shared-memory process engine).  Backends that hand
+        out futures (``persistent``, ``threads``, ``dask``) run the grids
+        with work-splitting and straggler re-splitting; ``"fresh"`` runs
+        each grid as one blocking one-shot-pool batch and ``"serial"``
         fully in-process.  All modes produce bit-identical reports.
+    saturate_factor:
+        Work units submitted per worker on future-capable backends
+        (roughly; units are contiguous cell runs of near-equal size).
+        More units mean finer-grained load balancing at slightly higher
+        dispatch overhead.
+    straggler_factor:
+        A pending work unit older than ``straggler_factor`` times the
+        median completed-unit round trip (and at least 50 ms) is split in
+        half and resubmitted; the first finished copy of each cell wins.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -215,20 +238,28 @@ def run_scenarios(
         raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'reference'")
     if pool not in (None, *POOL_MODES):
         raise ValueError(f"unknown pool mode {pool!r}; expected one of {POOL_MODES}")
+    if saturate_factor <= 0:
+        raise ValueError("saturate_factor must be > 0")
+    if straggler_factor <= 0:
+        raise ValueError("straggler_factor must be > 0")
     start = perf_counter()
+    dispatcher = _CampaignDispatcher(
+        workers=workers,
+        pool=pool,
+        saturate_factor=saturate_factor,
+        straggler_factor=straggler_factor,
+    )
     records: List[BenchRecord] = []
     for scenario in scenarios:
-        runner = _run_scenario_legacy if pool in ("fresh", "serial") else _run_scenario
         records.extend(
-            runner(
+            _run_scenario(
                 scenario,
                 seed=seed,
                 repeat=repeat,
                 warmup=warmup,
-                workers=workers,
                 validate=validate,
                 engine=engine,
-                pool=pool,
+                dispatcher=dispatcher,
             )
         )
     return BenchRun(
@@ -240,22 +271,189 @@ def run_scenarios(
         scenarios=tuple(s.name for s in scenarios),
         pool=pool,
         campaign_seconds=perf_counter() - start,
+        extras={
+            "backend": dispatcher.backend_name,
+            "work_units": dispatcher.work_units,
+            "straggler_resplits": dispatcher.straggler_resplits,
+        },
     )
 
 
 #: one planned solver invocation: (tree, algorithm, memory, options)
 _Cell = Tuple[Any, str, Optional[float], Dict[str, Any]]
 
+#: a straggler must also be at least this old (seconds) before re-splitting,
+#: so micro-campaigns with sub-millisecond units never thrash on resubmits
+_STRAGGLER_MIN_WAIT = 0.05
 
-def _solve_cells(cells: List[_Cell], workers: Optional[int]) -> List[SolveReport]:
-    """Fan a cell list through the persistent engine (serial fallback)."""
-    if workers is not None and workers > 1 and len(cells) > 1:
-        from ..solvers.engine import get_engine
+#: completion-scan interval while work units are in flight (seconds)
+_POLL_INTERVAL = 0.002
 
-        flat = get_engine().run_batch(cells, workers)
-        if flat is not None:
+
+@dataclass
+class _WorkUnit:
+    """One in-flight contiguous cell run ``[start, stop)`` and its future."""
+
+    start: int
+    stop: int
+    future: Any
+    submitted: float
+    split: bool = False  # re-split already fired; never split twice
+
+
+class _CampaignDispatcher:
+    """Backend-generic fan-out of one campaign's cell grids.
+
+    One dispatcher serves a whole :func:`run_scenarios` call, so its
+    ``work_units`` / ``straggler_resplits`` counters aggregate across
+    scenarios into the run-level extras.  Routing is by backend
+    *capability*, not name: future-capable backends get work-splitting and
+    straggler re-splitting, the rest run each grid as one blocking batch
+    (with the engine's usual serial fallback when the platform cannot run
+    the backend at all).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int],
+        pool: Optional[str],
+        saturate_factor: float = 2.0,
+        straggler_factor: float = 4.0,
+    ) -> None:
+        self.workers = workers or 1
+        self.saturate_factor = saturate_factor
+        self.straggler_factor = straggler_factor
+        self.work_units = 0
+        self.straggler_resplits = 0
+        self._engine = None
+        if workers is not None and workers > 1 and pool != "serial":
+            from ..solvers.engine import get_engine
+
+            self._engine = get_engine(pool)
+
+    @property
+    def backend_name(self) -> str:
+        return "serial" if self._engine is None else self._engine.backend_name
+
+    def solve(self, cells: List[_Cell]) -> List[SolveReport]:
+        """Solve every cell, in order; bit-identical to the serial path."""
+        engine = self._engine
+        if engine is None or len(cells) < 2:
+            return [_solve_task(cell) for cell in cells]
+        if not engine.backend.supports_futures:
+            flat = engine.run_batch(cells, self.workers)
+            if flat is None:
+                flat = [_solve_task(cell) for cell in cells]
             return flat
-    return [_solve_task(cell) for cell in cells]
+        return self._solve_split(engine, cells)
+
+    # ------------------------------------------------------------------
+    def _unit_bounds(self, n: int) -> List[Tuple[int, int]]:
+        """Cut ``n`` cells into ~saturate_factor x workers contiguous runs."""
+        n_units = min(n, max(1, round(self.saturate_factor * self.workers)))
+        base, extra = divmod(n, n_units)
+        bounds, start = [], 0
+        for u in range(n_units):
+            size = base + (1 if u < extra else 0)
+            bounds.append((start, start + size))
+            start += size
+        return bounds
+
+    def _solve_split(self, engine, cells: List[_Cell]) -> List[SolveReport]:
+        """Submit the grid as work units; re-split stragglers; dedup by cell.
+
+        ``results`` is keyed by cell index and written with ``setdefault``:
+        after a re-split both the original unit and its halves may complete,
+        and the first finisher wins -- deterministic, because every
+        registered solver is (only ``wall_time`` differs, and report
+        equality excludes it).
+        """
+        results: Dict[int, SolveReport] = {}
+        pending: List[_WorkUnit] = []
+        rtts: List[float] = []
+
+        def submit(start: int, stop: int) -> Optional[_WorkUnit]:
+            future = engine.submit_chunk(cells[start:stop], self.workers)
+            if future is None:
+                # backend unavailable on this platform: complete inline
+                for idx in range(start, stop):
+                    results.setdefault(idx, _solve_task(cells[idx]))
+                return None
+            self.work_units += 1
+            unit = _WorkUnit(start, stop, future, perf_counter())
+            pending.append(unit)
+            return unit
+
+        def collect(unit: _WorkUnit) -> None:
+            from concurrent.futures import CancelledError
+            from concurrent.futures.process import BrokenProcessPool
+            from pickle import PicklingError
+
+            try:
+                reports = unit.future.result()
+            except CancelledError:
+                return  # a re-split superseded this unit
+            except (BrokenProcessPool, PicklingError) as exc:
+                warnings.warn(
+                    f"bench dispatcher: work unit failed ({exc}); resetting "
+                    "the backend and completing the unit in-process",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                engine.reset()
+                reports = [_solve_task(c) for c in cells[unit.start:unit.stop]]
+            else:
+                rtts.append(perf_counter() - unit.submitted)
+            for offset, report in enumerate(reports):
+                results.setdefault(unit.start + offset, report)
+
+        def resplit_stragglers() -> None:
+            if not rtts:
+                return
+            threshold = max(
+                _STRAGGLER_MIN_WAIT, self.straggler_factor * statistics.median(rtts)
+            )
+            now = perf_counter()
+            for unit in list(pending):
+                if unit.split or unit.stop - unit.start < 2:
+                    continue
+                if now - unit.submitted < threshold:
+                    continue
+                mid = (unit.start + unit.stop) // 2
+                first = submit(unit.start, mid)
+                second = submit(mid, unit.stop)
+                unit.split = True
+                self.straggler_resplits += 1
+                if first is not None or second is not None:
+                    # only retire the original once a replacement is in
+                    # flight; if it is already running the cancel fails and
+                    # the dedup above settles the race
+                    unit.future.cancel()
+
+        try:
+            for start, stop in self._unit_bounds(len(cells)):
+                submit(start, stop)
+            while pending:
+                done = [u for u in pending if u.future.done()]
+                for unit in done:
+                    pending.remove(unit)
+                    collect(unit)
+                if not pending:
+                    break
+                if not done:
+                    resplit_stragglers()
+                    time.sleep(_POLL_INTERVAL)
+        except BaseException:
+            for unit in pending:  # solver errors propagate; don't leak work
+                unit.future.cancel()
+            raise
+        # safety net: anything lost (cancelled both copies, dropped futures)
+        # completes in-process so the grid always comes back whole
+        return [
+            results[i] if i in results else _solve_task(cells[i])
+            for i in range(len(cells))
+        ]
 
 
 def _run_scenario(
@@ -264,25 +462,25 @@ def _run_scenario(
     seed: int,
     repeat: int,
     warmup: int,
-    workers: Optional[int],
     validate: bool,
+    dispatcher: _CampaignDispatcher,
     engine: Optional[str] = None,
-    pool: Optional[str] = None,
 ) -> List[BenchRecord]:
-    """Campaign-planned execution: the scenario grid as engine fan-outs.
+    """Campaign-planned execution: the scenario grid as backend fan-outs.
 
     Stage 1 expands the plain (unbudgeted) algorithms over every instance
     and round into batches.  Stage 2 -- which needs the stage-1 reference
     peaks to place the memory budgets -- expands every budgeted (instance,
     algorithm, budget, round) cell into a second pair of batches, so the
-    budget sweeps the legacy path ran as serial size-1 calls execute in
-    parallel.  Each stage fans out its warmup cells first and waits for
-    them before the timed cells, preserving the documented warmup
-    semantics (timed rounds never contend with, or run ahead of, warmup
-    work).  Cells are ordered tree-major within each round, keeping arena
-    chunks single-tree.
+    budget sweeps run in parallel rather than as serial size-1 calls.
+    Each stage fans out its warmup cells first and waits for them before
+    the timed cells, preserving the documented warmup semantics (timed
+    rounds never contend with, or run ahead of, warmup work).  Cells are
+    ordered tree-major within each round, keeping arena chunks
+    single-tree.  Execution strategy (work-splitting, straggler
+    re-splitting, blocking batches, serial) is entirely the
+    ``dispatcher``'s concern.
     """
-    del pool  # this is the persistent-mode path; the engine is implicit
     instances = scenario.build(seed)
     trees = [tree for _, tree in instances]
     engine_options = {} if engine is None else {"engine": engine}
@@ -306,8 +504,8 @@ def _run_scenario(
             for name in plain
         ]
 
-    _solve_cells(_plain_cells(warmup), workers)  # discarded (barrier below)
-    flat1 = _solve_cells(_plain_cells(repeat), workers)
+    dispatcher.solve(_plain_cells(warmup))  # discarded (barrier below)
+    flat1 = dispatcher.solve(_plain_cells(repeat))
     timings: Dict[Tuple[int, str], List[float]] = {}
     for r in range(repeat):
         base = r * n_trees * n_plain
@@ -354,9 +552,9 @@ def _run_scenario(
         return cells, meta
 
     warm_cells, _ = _budget_cells(warmup)
-    _solve_cells(warm_cells, workers)  # discarded (barrier below)
+    dispatcher.solve(warm_cells)  # discarded (barrier below)
     timed_cells, meta = _budget_cells(repeat)
-    flat2 = _solve_cells(timed_cells, workers)
+    flat2 = dispatcher.solve(timed_cells)
     budget_reports: Dict[Tuple[int, str], SolveReport] = {}
     budget_times: Dict[Tuple[int, str], List[float]] = {}
     for (i, cell_key), report in zip(meta, flat2):
@@ -391,112 +589,6 @@ def _run_scenario(
                         tree,
                         budget_reports[(i, cell_key)],
                         budget_times[(i, cell_key)],
-                        reference_peak=reference_peak,
-                        validate=validate,
-                        memory_limit=memory,
-                        budget_fraction=fraction,
-                    )
-                )
-    return records
-
-
-def _run_scenario_legacy(
-    scenario: Scenario,
-    *,
-    seed: int,
-    repeat: int,
-    warmup: int,
-    workers: Optional[int],
-    validate: bool,
-    engine: Optional[str] = None,
-    pool: Optional[str] = None,
-) -> List[BenchRecord]:
-    """Legacy loop structure: one ``solve_many`` call per round and per
-    budget step.  Kept as the ``pool="fresh"`` / ``pool="serial"`` path --
-    both as a migration escape hatch and as the measured baseline the
-    persistent engine is compared against."""
-    instances = scenario.build(seed)
-    trees = [tree for _, tree in instances]
-    pool_options = {} if pool is None else {"pool": pool}
-    engine_options = {} if engine is None else {"engine": engine}
-    engine_options.update(pool_options)
-    plain = [a for a in scenario.algorithms if not _is_budgeted(a)]
-    budgeted = [a for a in scenario.algorithms if _is_budgeted(a)]
-    # the reference solver anchors optimality ratios and budget sweeps; run
-    # it even when the scenario did not list it explicitly
-    reference_in_run = REFERENCE_ALGORITHM in plain
-    if not reference_in_run:
-        plain = plain + [REFERENCE_ALGORITHM]
-
-    timings: Dict[Tuple[int, str], List[float]] = {}
-    for _ in range(warmup):  # discarded rounds (interpreter/cache warmup)
-        solve_many(trees, plain, workers=workers, **engine_options)
-    # solve_many stamps a perf_counter wall time on every report, so timed
-    # rounds simply repeat the batch and pool the per-solver stamps
-    rounds = [
-        solve_many(trees, plain, workers=workers, **engine_options)
-        for _ in range(repeat)
-    ]
-    batches = rounds[-1]
-    for round_reports in rounds:
-        for i, per_tree in enumerate(round_reports):
-            for name, report in per_tree.items():
-                timings.setdefault((i, name), []).append(report.wall_time)
-
-    records: List[BenchRecord] = []
-    for i, (instance_name, tree) in enumerate(instances):
-        reference = batches[i][REFERENCE_ALGORITHM]
-        reference_peak = reference.peak_memory
-        # hand the minio family the reference traversal and its peak so the
-        # timed rounds measure the scheduler alone, not a hidden re-run of
-        # the in-core base solver; explore ignores both (lenient dispatch)
-        budget_options = {
-            "traversal": reference.traversal,
-            "in_core_peak": reference_peak,
-            **engine_options,
-        }
-        for name in plain:
-            if name == REFERENCE_ALGORITHM and not reference_in_run:
-                continue
-            report = batches[i][name]
-            times = timings[(i, name)]
-            records.append(
-                _make_record(
-                    scenario,
-                    instance_name,
-                    tree,
-                    report,
-                    times,
-                    reference_peak=reference_peak,
-                    validate=validate,
-                )
-            )
-        for name in budgeted:
-            for fraction, memory in _budgets_for(
-                tree, reference_peak, scenario.budget_fractions
-            ):
-                times = []
-                report = None
-                for _ in range(warmup):
-                    solve_many(
-                        [tree], name, memory=memory, workers=workers,
-                        **budget_options,
-                    )
-                for _ in range(repeat):
-                    (per_tree,) = solve_many(
-                        [tree], name, memory=memory, workers=workers,
-                        **budget_options,
-                    )
-                    report = per_tree[name]
-                    times.append(report.wall_time)
-                assert report is not None
-                records.append(
-                    _make_record(
-                        scenario,
-                        instance_name,
-                        tree,
-                        report,
-                        times,
                         reference_peak=reference_peak,
                         validate=validate,
                         memory_limit=memory,

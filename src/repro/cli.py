@@ -62,7 +62,10 @@ from .core.minio import HEURISTICS
 from .core.serialize import load_tree, save_tree, solve_report_to_dict
 from .core.tree import TreeValidationError
 from .solvers import (
+    BackendUnavailableError,
     UnknownSolverError,
+    backend_names,
+    backend_table,
     compare,
     solve,
     solve_many,
@@ -70,6 +73,17 @@ from .solvers import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _pool_help(*, service_only: bool = False) -> str:
+    """``--pool`` help text straight from the backend registry."""
+    names = backend_names(service_only=service_only)
+    entries = "; ".join(
+        f"'{spec.name}' = {spec.summary}"
+        for spec in backend_table()
+        if spec.name in names
+    )
+    return f"executor backend: {entries}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,11 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "per-node implementations")
     p_solve.add_argument("--workers", type=int, default=None,
                          help="worker processes for multi-tree batches (default: serial)")
-    p_solve.add_argument("--pool", choices=("persistent", "fresh", "serial"),
-                         default=None,
-                         help="parallel executor: 'persistent' = shared-memory "
-                              "engine reused across batches (default), 'fresh' = "
-                              "one-shot pool per call, 'serial' = in-process")
+    p_solve.add_argument("--pool", choices=backend_names(), default=None,
+                         help=_pool_help() + " (default: persistent)")
     p_solve.add_argument("--json", action="store_true",
                          help="emit the full SolveReport(s) as JSON")
     p_solve.add_argument("--list", action="store_true", dest="list_algorithms",
@@ -180,12 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="untimed warmup rounds before timing (default: 0)")
     p_bench.add_argument("--workers", type=int, default=None,
                          help="worker processes for the solver batches (default: serial)")
-    p_bench.add_argument("--pool", choices=("persistent", "fresh", "serial"),
-                         default=None,
-                         help="executor for the campaign: 'persistent' = batched "
-                              "plans on the shared-memory engine (default), "
-                              "'fresh' = legacy per-call pools, 'serial' = legacy "
-                              "loops in-process")
+    p_bench.add_argument("--pool", choices=backend_names(), default=None,
+                         help=_pool_help() + " (default: persistent; "
+                              "future-capable backends run the campaign with "
+                              "work-splitting and straggler re-splitting)")
     p_bench.add_argument("--json", action="store_true",
                          help="persist a schema-versioned BENCH_<timestamp>.json artifact")
     p_bench.add_argument("--output", type=Path, default=None, metavar="PATH",
@@ -225,10 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="worker processes of the persistent engine "
                               "(default: in-process execution)")
-    p_serve.add_argument("--pool", choices=("persistent", "serial"), default=None,
-                         help="executor: 'persistent' = shared-memory engine, "
-                              "'serial' = in-process threads (default: "
-                              "persistent when --workers > 1)")
+    p_serve.add_argument("--pool", choices=backend_names(service_only=True),
+                         default=None,
+                         help=_pool_help(service_only=True)
+                              + " (default: persistent when --workers > 1, "
+                                "else serial)")
     p_serve.add_argument("--max-pending", type=int, default=128, metavar="N",
                          help="admission bound on queued+executing requests; "
                               "beyond it requests are rejected (default: 128)")
@@ -285,7 +295,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "report":
             return _cmd_report(args)
-    except UnknownSolverError as exc:
+    except (UnknownSolverError, BackendUnavailableError) as exc:
+        # missing optional backend dependency (pool=dask without dask): a
+        # configuration error, reported like an unknown solver name
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (OSError, TreeValidationError, json.JSONDecodeError) as exc:
@@ -561,9 +573,11 @@ def _format_traffic_table(run) -> str:
 
 def _cmd_bench_traffic(args: argparse.Namespace, bench) -> int:
     """The ``bench --traffic`` branch: open-loop load over the service."""
-    if args.pool == "fresh":
-        print("error: the service daemon has no 'fresh' pool mode; use "
-              "'persistent' or 'serial'", file=sys.stderr)
+    from .service.daemon import SERVICE_POOL_MODES
+
+    if args.pool is not None and args.pool not in SERVICE_POOL_MODES:
+        print(f"error: the service daemon has no {args.pool!r} pool mode; "
+              f"use one of {', '.join(SERVICE_POOL_MODES)}", file=sys.stderr)
         return 2
     scenarios = bench.select_traffic_scenarios(args.filter, smoke=args.smoke)
     if not scenarios:

@@ -14,10 +14,11 @@ control loop modelled on the scatter-once / stop-flag structure of treeck's
   arena once, so a stream of requests against the same tree ships it to the
   worker processes exactly once;
 * **dispatch**: a dispatcher task feeds admitted requests to the executor --
-  per-request futures on the persistent :class:`~repro.solvers.engine.SolveEngine`
-  (``pool="persistent"``) or an in-process thread pool (``pool="serial"``,
-  also the automatic fallback where subprocesses are unavailable) -- with a
-  bounded number in flight;
+  per-request futures on a :class:`~repro.solvers.engine.SolveEngine` over
+  any service-capable executor backend (``pool="persistent"`` processes,
+  ``pool="threads"``, ``pool="dask"``) or an in-process thread pool
+  (``pool="serial"``, also the automatic fallback where the backend is
+  unavailable) -- with a bounded number in flight;
 * **report**: the response carries the frozen
   :class:`~repro.solvers.SolveReport` plus the queue/solve/total timing
   breakdown.
@@ -54,6 +55,7 @@ from ..obs import (
     log_event,
     render_prometheus,
 )
+from ..solvers.engine.backends import backend_names
 from ..solvers.facade import _solve_task
 from .errors import (
     DeadlineError,
@@ -74,9 +76,11 @@ __all__ = ["SolverService", "ServiceStats", "SERVICE_POOL_MODES"]
 
 _log = get_logger("service")
 
-#: executor modes of the service: the persistent process engine or an
-#: in-process thread pool (the latter also the automatic fallback)
-SERVICE_POOL_MODES = ("persistent", "serial")
+#: executor modes of the service, straight from the backend registry --
+#: every future-capable backend plus forced in-process execution (also the
+#: automatic fallback); ``fresh`` is excluded, a one-shot pool per request
+#: being the antithesis of a long-lived daemon
+SERVICE_POOL_MODES = backend_names(service_only=True)
 
 
 @dataclass
@@ -178,11 +182,13 @@ class SolverService:
         ``None``/``0``/``1`` with the default pool selects the in-process
         thread executor instead.
     pool:
-        ``"persistent"`` -- the service owns a
-        :class:`~repro.solvers.engine.SolveEngine` (processes, shared-memory
-        arena), shut down with the service; ``"serial"`` -- an in-process
-        thread pool (deterministic, sandbox-safe); ``None`` picks
-        ``"persistent"`` when ``workers > 1``.  Unknown strings raise
+        Executor backend of the service (any name in
+        :data:`SERVICE_POOL_MODES`).  Non-serial modes make the service own
+        a :class:`~repro.solvers.engine.SolveEngine` on that backend
+        (``"persistent"`` processes + shared-memory arena, ``"threads"``,
+        ``"dask"``), shut down with the service; ``"serial"`` uses an
+        in-process thread pool (deterministic, sandbox-safe).  ``None``
+        picks ``"persistent"`` when ``workers > 1``.  Unknown strings raise
         :class:`ValueError` eagerly, mirroring ``solve_many``.
     max_pending:
         Admission bound on requests alive in the service (queued plus
@@ -225,7 +231,7 @@ class SolverService:
         self.pool_mode = pool
         self.max_pending = max_pending
         if max_inflight is None:
-            if pool == "persistent":
+            if pool != "serial":
                 max_inflight = 2 * max(1, self.workers)
             else:
                 max_inflight = max(1, self.workers)
@@ -262,10 +268,17 @@ class SolverService:
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._idle = asyncio.Event()
         self._idle.set()
-        if self.pool_mode == "persistent":
+        if self.pool_mode != "serial":
             from ..solvers.engine import SolveEngine
 
-            self._engine = SolveEngine(use_shared_memory=self._use_shared_memory)
+            # the arena toggle only exists on the persistent backend; other
+            # backends take no construction options from the service
+            if self.pool_mode == "persistent":
+                self._engine = SolveEngine(
+                    use_shared_memory=self._use_shared_memory
+                )
+            else:
+                self._engine = SolveEngine(backend=self.pool_mode)
         self._dispatcher = loop.create_task(self._dispatch_loop())
         self._started = True
         self._accepting = True
@@ -545,15 +558,15 @@ class SolverService:
                 from concurrent.futures.process import BrokenProcessPool
 
                 try:
-                    return await asyncio.wrap_future(exec_future)
+                    return await self._await_engine_future(exec_future)
                 except BrokenProcessPool:
-                    # a worker crashed mid-request: heal the pool and give
-                    # this request its answer in-process
+                    # a worker crashed mid-request: heal the backend and
+                    # give this request its answer in-process
                     log_event(
                         _log, "pool_broken", level=logging.WARNING,
                         id=pending.request.id,
                     )
-                    self._engine.pool.reset()
+                    self._engine.reset()
                     pending.exec_future = None
         loop = asyncio.get_running_loop()
         if trace is not None:
@@ -563,6 +576,22 @@ class SolverService:
             trace.end_if_open("dispatch")
             trace.begin("solve")
         return await loop.run_in_executor(self._threads(), _solve_task, cell)
+
+    @staticmethod
+    async def _await_engine_future(exec_future):
+        """Await any backend's future without blocking the event loop.
+
+        In-process backends hand out :class:`concurrent.futures.Future`
+        (bridged by ``asyncio.wrap_future``); dask futures only share the
+        blocking ``result()`` surface, so they park on the default thread
+        executor instead.
+        """
+        import concurrent.futures
+
+        if isinstance(exec_future, concurrent.futures.Future):
+            return await asyncio.wrap_future(exec_future)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, exec_future.result)
 
     def _threads(self):
         if self._thread_pool is None:
@@ -782,63 +811,71 @@ class SolverService:
         )
         if self._engine is not None:
             engine = self._engine.snapshot()
-            pool, arena = engine["pool"], engine["arena"]
+            backend = {"backend": engine["backend"]}
             reg.counter(
                 "repro_engine_submits_total",
                 "Single-cell submissions to the solve engine.",
-                value=engine["submits"],
+                labels=backend, value=engine["submits"],
             )
             reg.counter(
                 "repro_engine_batches_total",
                 "Batches mapped over the solve engine.",
-                value=engine["batches"],
+                labels=backend, value=engine["batches"],
             )
             reg.counter(
                 "repro_engine_serial_fallbacks_total",
                 "Engine calls degraded to serial/in-process execution.",
-                value=engine["serial_fallbacks"],
+                labels=backend, value=engine["serial_fallbacks"],
             )
             reg.counter(
                 "repro_engine_broken_pools_total",
                 "Worker-pool crashes healed by a pool reset.",
-                value=engine["broken_pools"],
+                labels=backend, value=engine["broken_pools"],
             )
-            reg.gauge(
-                "repro_engine_pool_workers", "Workers of the live pool.",
-                value=pool["workers"],
-            )
-            reg.counter(
-                "repro_engine_pool_creations_total",
-                "Process pools built from scratch.",
-                value=pool["creations"],
-            )
-            reg.counter(
-                "repro_engine_pool_grows_total",
-                "Process pools rebuilt larger.",
-                value=pool["grows"],
-            )
-            reg.counter(
-                "repro_engine_pool_resets_total",
-                "Broken process pools discarded.",
-                value=pool["resets"],
-            )
-            for transport, value in (
-                ("shm", arena["shm_exports"]), ("blob", arena["blob_exports"]),
-            ):
-                reg.counter(
-                    "repro_engine_arena_exports_total",
-                    "Tree kernels shipped to the workers, by transport.",
-                    labels={"transport": transport}, value=value,
+            # backend sub-documents are capability-dependent: process and
+            # thread backends expose a pool, only the process engine an arena
+            pool = engine.get("pool")
+            if pool is not None:
+                reg.gauge(
+                    "repro_engine_pool_workers", "Workers of the live pool.",
+                    labels=backend, value=pool["workers"],
                 )
-            reg.counter(
-                "repro_engine_arena_reuses_total",
-                "Exports answered by an already-shipped segment.",
-                value=arena["reuses"],
-            )
-            reg.gauge(
-                "repro_engine_arena_segments", "Live shared-memory segments.",
-                value=arena["live_segments"],
-            )
+                reg.counter(
+                    "repro_engine_pool_creations_total",
+                    "Worker pools built from scratch.",
+                    labels=backend, value=pool["creations"],
+                )
+                reg.counter(
+                    "repro_engine_pool_grows_total",
+                    "Worker pools rebuilt larger.",
+                    labels=backend, value=pool["grows"],
+                )
+                reg.counter(
+                    "repro_engine_pool_resets_total",
+                    "Broken worker pools discarded.",
+                    labels=backend, value=pool["resets"],
+                )
+            arena = engine.get("arena")
+            if arena is not None:
+                for transport, value in (
+                    ("shm", arena["shm_exports"]),
+                    ("blob", arena["blob_exports"]),
+                ):
+                    reg.counter(
+                        "repro_engine_arena_exports_total",
+                        "Tree kernels shipped to the workers, by transport.",
+                        labels={"transport": transport, **backend}, value=value,
+                    )
+                reg.counter(
+                    "repro_engine_arena_reuses_total",
+                    "Exports answered by an already-shipped segment.",
+                    labels=backend, value=arena["reuses"],
+                )
+                reg.gauge(
+                    "repro_engine_arena_segments",
+                    "Live shared-memory segments.",
+                    labels=backend, value=arena["live_segments"],
+                )
         return reg
 
     def render_metrics(self) -> str:

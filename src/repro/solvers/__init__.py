@@ -34,9 +34,14 @@ from .portfolio import (  # noqa: E402  (registers the "auto" solver)
     tree_features,
 )
 from .engine import (  # noqa: E402
+    BackendUnavailableError,
     EngineStoppedError,
+    ExecutorBackend,
     SolveEngine,
+    backend_names,
+    backend_table,
     get_engine,
+    register_backend,
     shutdown_engine,
 )
 from .facade import (  # noqa: E402
@@ -70,8 +75,13 @@ __all__ = [
     "RACE_NODE_THRESHOLD",
     "ROUTING_TABLE",
     "tree_features",
+    "BackendUnavailableError",
     "EngineStoppedError",
+    "ExecutorBackend",
     "SolveEngine",
+    "backend_names",
+    "backend_table",
     "get_engine",
+    "register_backend",
     "shutdown_engine",
 ]

@@ -8,11 +8,13 @@ blobs otherwise), and a :class:`~.dispatch.SolveEngine` that fans compact
 ``(token, algorithm, memory, options)`` payloads over the pool with a
 computed chunk size.
 
-``solve_many(..., pool="persistent")`` (the default for parallel batches)
-routes through the process-wide engine from :func:`get_engine`;
-``pool="fresh"`` keeps the legacy one-pool-per-call behaviour and
-``pool="serial"`` forces in-process execution.  :func:`shutdown_engine`
-releases the workers and the shared segments explicitly (also registered
+Execution strategies are pluggable: :class:`~.dispatch.SolveEngine`
+delegates to an :class:`~.backends.ExecutorBackend` chosen by name from
+the backend registry (:func:`~.backends.backend_names` -- ``persistent``,
+``fresh``, ``serial``, ``threads``, and the optional ``dask``).
+``solve_many(..., pool=...)`` routes through the matching process-wide
+engine from :func:`get_engine`; :func:`shutdown_engine` releases every
+default engine's workers and shared segments explicitly (also registered
 ``atexit``).
 
 The service daemon (:mod:`repro.service`) uses the asynchronous seam
@@ -24,6 +26,17 @@ SolveEngine() as eng:``), and ``shutdown`` is idempotent.
 """
 
 from .arena import TreeArena, TreeRef, resolve, worker_cache_info
+from .backends import (
+    BackendSpec,
+    BackendUnavailableError,
+    ExecutorBackend,
+    ExecutorUnavailable,
+    backend_names,
+    backend_table,
+    create_backend,
+    get_backend_spec,
+    register_backend,
+)
 from .dispatch import EngineStoppedError, SolveEngine, get_engine, shutdown_engine
 from .pool import PersistentPool
 
@@ -31,9 +44,18 @@ __all__ = [
     "TreeArena",
     "TreeRef",
     "PersistentPool",
+    "BackendSpec",
+    "BackendUnavailableError",
+    "ExecutorBackend",
+    "ExecutorUnavailable",
     "EngineStoppedError",
     "SolveEngine",
+    "backend_names",
+    "backend_table",
+    "create_backend",
+    "get_backend_spec",
     "get_engine",
+    "register_backend",
     "shutdown_engine",
     "resolve",
     "worker_cache_info",

@@ -1,0 +1,246 @@
+"""The :class:`ExecutorBackend` protocol and the backend registry.
+
+An *executor backend* is the strategy object behind the solve engine: it
+owns the actual worker plumbing (a process pool, a thread pool, a dask
+cluster -- or nothing at all) and exposes one small protocol the three call
+sites above it share:
+
+* ``scatter(trees)`` -- pre-ship tree kernels to the workers (arena export,
+  ``client.scatter(..., broadcast=True)``, or a no-op for in-process
+  backends);
+* ``map_cells(cells, workers)`` -- solve a batch of cells, blocking, in cell
+  order;
+* ``submit_cell(cell, workers)`` / ``submit_chunk(cells, workers)`` -- the
+  asynchronous seam: one future per request (the service daemon) or per
+  work unit (the bench campaign planner's work-splitting dispatcher);
+* ``stop()`` / ``reset()`` / ``shutdown()`` -- lifecycle.
+
+Capability flags describe what the layers above may assume:
+
+=================== ======================================================
+``ships_arena``     kernels are shipped to the workers out of band (shared
+                    memory or scatter/broadcast), so payloads are compact
+                    tokens rather than pickled trees
+``releases_gil``    work leaves the parent interpreter's GIL (separate
+                    processes or a cluster); ``False`` for the in-process
+                    backends, where parallel speed-up waits on the
+                    compiled (GIL-releasing) solver tier
+``distributed``     workers may live on other hosts
+``supports_futures`` ``submit_cell``/``submit_chunk`` are implemented; the
+                    campaign planner only work-splits on such backends and
+                    falls back to blocking ``map_cells`` otherwise
+``service``         usable as a ``serve --pool`` mode (``fresh`` is not:
+                    a one-shot pool per request defeats a daemon)
+=================== ======================================================
+
+The registry (:func:`register_backend` / :func:`backend_names` /
+:func:`create_backend`) is the single source of truth for every ``pool=``
+surface: ``solve_many`` validation, ``bench --pool`` and ``serve --pool``
+choices, the CLI help text, and the docs tables all derive from it.
+Registration order is presentation order, so ``POOL_MODES`` stays stable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "BackendUnavailableError",
+    "ExecutorUnavailable",
+    "ExecutorBackend",
+    "BackendSpec",
+    "register_backend",
+    "backend_names",
+    "get_backend_spec",
+    "create_backend",
+    "backend_table",
+]
+
+#: one planned solver invocation: (tree, algorithm, memory, options)
+Cell = Tuple[Any, str, Optional[float], Dict[str, Any]]
+
+
+class BackendUnavailableError(ValueError):
+    """A registered backend cannot be constructed in this environment.
+
+    Raised by :func:`create_backend` when the backend's optional dependency
+    (e.g. ``dask[distributed]``) is not installed.  A :class:`ValueError`
+    subclass so the facade and CLI surface it like any other bad ``pool=``
+    argument instead of degrading silently.
+    """
+
+
+class ExecutorUnavailable(RuntimeError):
+    """A live backend cannot execute work *right now* on this platform.
+
+    Raised from ``map_cells``/``submit_cell`` when e.g. the sandbox cannot
+    spawn subprocesses.  The engine catches it, warns once, and degrades to
+    serial execution -- unlike :class:`BackendUnavailableError`, which is a
+    caller-facing configuration error.
+    """
+
+
+def _solve_cell(cell: Cell):
+    """In-process solve of one raw cell (thread/serial execution)."""
+    from ...facade import _solve_task
+
+    return _solve_task(cell)
+
+
+def _solve_chunk(cells: Sequence[Cell]) -> List[Any]:
+    """In-process solve of a work unit (the chunk-future entry point)."""
+    from ...facade import _solve_task
+
+    return [_solve_task(cell) for cell in cells]
+
+
+class ExecutorBackend:
+    """Base class of the executor backends (see the module docstring).
+
+    Subclasses set the class-level ``name``/``summary``/capability flags and
+    implement the execution methods.  ``reset``/``stop``/``shutdown`` and
+    ``scatter`` default to no-ops so trivial backends stay trivial.
+    """
+
+    name: str = "?"
+    summary: str = ""
+    ships_arena: bool = False
+    releases_gil: bool = False
+    distributed: bool = False
+    supports_futures: bool = True
+    service: bool = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def scatter(self, trees: Sequence[Any]) -> None:
+        """Pre-ship tree kernels to the workers (no-op by default)."""
+
+    def map_cells(self, cells: Sequence[Cell], workers: int) -> List[Any]:
+        """Solve ``cells`` in order, blocking.
+
+        Raises :class:`ExecutorUnavailable` when the platform cannot run
+        this backend (the engine then falls back to serial execution);
+        infrastructure errors (``BrokenProcessPool``, ``PicklingError``)
+        propagate for the engine to translate.
+        """
+        raise NotImplementedError
+
+    def submit_cell(self, cell: Cell, workers: int):
+        """Submit one cell; returns a future resolving to its report."""
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support asynchronous submission"
+        )
+
+    def submit_chunk(self, cells: Sequence[Cell], workers: int):
+        """Submit a work unit; returns a future resolving to a report list."""
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support asynchronous submission"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Discard broken worker plumbing so the next call rebuilds it."""
+
+    def stop(self) -> None:
+        """Best-effort cooperative stop signal (cluster backends)."""
+
+    def shutdown(self) -> None:
+        """Release workers and shipped state (idempotent)."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Backend-specific observability sub-documents (may be empty)."""
+        return {}
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registry entry: the backend class plus its metadata.
+
+    ``requires`` names an optional dependency module; :func:`create_backend`
+    refuses with :class:`BackendUnavailableError` when it is missing, so an
+    unimportable backend still *lists* (CLI help, docs) but fails loudly
+    and early when selected.
+    """
+
+    name: str
+    cls: Type[ExecutorBackend]
+    summary: str
+    requires: Optional[str] = None
+
+    @property
+    def available(self) -> bool:
+        if self.requires is None:
+            return True
+        return importlib.util.find_spec(self.requires) is not None
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    cls: Type[ExecutorBackend],
+    *,
+    summary: str,
+    requires: Optional[str] = None,
+) -> BackendSpec:
+    """Register ``cls`` under ``name`` (insertion order is listing order)."""
+    if name in _REGISTRY:
+        raise ValueError(f"executor backend {name!r} is already registered")
+    spec = BackendSpec(name=name, cls=cls, summary=summary, requires=requires)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def backend_names(*, service_only: bool = False) -> Tuple[str, ...]:
+    """Registered backend names, in registration order.
+
+    ``service_only=True`` restricts to backends usable as ``serve --pool``
+    modes (drops ``fresh``).
+    """
+    return tuple(
+        name
+        for name, spec in _REGISTRY.items()
+        if not service_only or spec.cls.service
+    )
+
+
+def get_backend_spec(name: str) -> BackendSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown executor backend {name!r}; expected one of "
+            f"{backend_names()}"
+        )
+    return spec
+
+
+def create_backend(name: str, **options: Any) -> ExecutorBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises
+    ------
+    ValueError
+        Unknown name (the message lists the registered backends).
+    BackendUnavailableError
+        The backend's optional dependency is not installed.
+    """
+    spec = get_backend_spec(name)
+    if not spec.available:
+        raise BackendUnavailableError(
+            f"pool={name!r} needs the optional dependency "
+            f"{spec.requires!r} (pip install 'dask[distributed]')"
+            if spec.requires == "distributed"
+            else f"pool={name!r} needs the optional dependency {spec.requires!r}"
+        )
+    return spec.cls(**options)
+
+
+def backend_table() -> List[BackendSpec]:
+    """Every registered spec, in registration order (CLI help, docs)."""
+    return list(_REGISTRY.values())

@@ -1,0 +1,266 @@
+"""Optional dask.distributed backend (``pool="dask"``).
+
+Modelled on treeck's ``DistributedVerifier`` control loop: tree kernels
+are scattered to the cluster **once per campaign** with
+``client.scatter(flat_arrays, broadcast=True)`` (the dask analogue of the
+shared-memory arena, hence ``ships_arena``), cells become
+``client.submit`` futures over the scattered data, and result gathering
+uses per-future timeouts that start at ``timeout_start`` and grow by
+``timeout_grow_rate`` up to ``timeout_max`` -- early in a campaign the
+cluster may still be warming up (workers importing numpy, deserializing
+kernels), so a fixed timeout would misclassify warmup as failure.  A
+cooperative stop flag makes an in-flight gather abandon promptly.
+
+The module imports without dask installed; :func:`~.base.create_backend`
+gates construction on the ``distributed`` module being importable
+(``requires="distributed"``) and raises the typed
+:class:`~.base.BackendUnavailableError` otherwise, so the backend *lists*
+everywhere (CLI help, ``POOL_MODES``) but fails loudly when selected
+without the dependency.  With no ``client``/``address`` given, the first
+batch boots a single-host ``LocalCluster`` sized to the requested worker
+count -- multi-host clusters connect via ``address=``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .base import Cell, ExecutorBackend, ExecutorUnavailable
+
+__all__ = ["DaskBackend"]
+
+_token_counter = itertools.count(1)
+
+#: worker-side resident kernels, keyed by scatter token (one dict per dask
+#: worker process; bounded like the arena's worker cache)
+_DASK_KERNELS: Dict[str, Any] = {}
+_DASK_CACHE_SIZE = 1024
+
+
+def _dask_solve(
+    data: Tuple, token: str, algorithm: str, memory: Optional[float], options: Dict
+):
+    """Worker entry point: rebuild (or reuse) the kernel, then solve.
+
+    ``data`` is the scattered flat-array tuple -- dask resolves the
+    scattered future to the broadcast value before calling, so repeated
+    cells against the same token deserialize the kernel at most once per
+    worker.
+    """
+    from ....core.kernel import TreeKernel
+    from ...facade import _dispatch
+
+    kernel = _DASK_KERNELS.get(token)
+    if kernel is None:
+        parent, f, n, ids = data
+        kernel = TreeKernel.from_flat_arrays(parent, f, n, ids=ids)
+        if len(_DASK_KERNELS) >= _DASK_CACHE_SIZE:
+            _DASK_KERNELS.clear()
+        _DASK_KERNELS[token] = kernel
+    return _dispatch(kernel, algorithm, memory, options, strict=False)
+
+
+def _dask_solve_chunk(specs: Sequence[Tuple]) -> List[Any]:
+    """Worker entry point for one campaign work unit."""
+    return [_dask_solve(*spec) for spec in specs]
+
+
+class DaskBackend(ExecutorBackend):
+    """Scatter-once dask.distributed execution with adaptive gather timeouts."""
+
+    name = "dask"
+    summary = "dask.distributed cluster (optional dependency; scatter-once)"
+    ships_arena = True
+    releases_gil = True
+    distributed = True
+
+    def __init__(
+        self,
+        *,
+        client: Optional[Any] = None,
+        address: Optional[str] = None,
+        timeout_start: float = 30.0,
+        timeout_max: float = 600.0,
+        timeout_grow_rate: float = 1.5,
+    ) -> None:
+        if timeout_grow_rate <= 1.0:
+            raise ValueError("timeout_grow_rate must be > 1")
+        self._client = client
+        self._cluster = None
+        self._owns_client = client is None
+        self._address = address
+        self.timeout_start = timeout_start
+        self.timeout_max = timeout_max
+        self.timeout_grow_rate = timeout_grow_rate
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        # scatter-once bookkeeping, keyed by kernel identity like the arena:
+        # token -> scattered future, with a weak map as the ground truth so
+        # a recycled id() can never alias a dead kernel
+        self._scattered: Dict[str, Any] = {}
+        self._by_kernel: Dict[int, str] = {}
+        self._refs: "weakref.WeakValueDictionary[str, Any]" = (
+            weakref.WeakValueDictionary()
+        )
+        self.scatters = 0
+        self.reuses = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_client(self, workers: int):
+        with self._lock:
+            if self._client is None:
+                try:
+                    from distributed import Client, LocalCluster
+                except ImportError as exc:  # create_backend gates; belt+braces
+                    raise ExecutorUnavailable(
+                        "dask.distributed is not importable"
+                    ) from exc
+                try:
+                    if self._address is not None:
+                        self._client = Client(self._address)
+                    else:
+                        self._cluster = LocalCluster(
+                            n_workers=max(1, workers),
+                            threads_per_worker=1,
+                            dashboard_address=None,
+                        )
+                        self._client = Client(self._cluster)
+                except OSError as exc:
+                    raise ExecutorUnavailable(
+                        f"cannot reach a dask cluster ({exc})"
+                    ) from exc
+            return self._client
+
+    def _scatter_tree(self, client, tree) -> Tuple[str, Any]:
+        """Broadcast one kernel's flat arrays to every worker, once."""
+        from ....core.kernel import TreeKernel
+
+        kernel = tree if isinstance(tree, TreeKernel) else tree.kernel()
+        token = self._by_kernel.get(id(kernel))
+        if token is not None and self._refs.get(token) is kernel:
+            self.reuses += 1
+            return token, self._scattered[token]
+        parent, f, n = kernel.to_flat_arrays()
+        ids = None if kernel.has_trivial_ids() else kernel.ids
+        token = f"dask-{os.getpid()}-{next(_token_counter)}"
+        [future] = client.scatter([(parent, f, n, ids)], broadcast=True)
+        self._scattered[token] = future
+        self._by_kernel[id(kernel)] = token
+        self._refs[token] = kernel
+        weakref.finalize(kernel, self._scattered.pop, token, None)
+        self.scatters += 1
+        return token, future
+
+    def _spec(self, client, cell: Cell) -> Tuple:
+        tree, algorithm, memory, options = cell
+        token, data = self._scatter_tree(client, tree)
+        return (data, token, algorithm, memory, options)
+
+    # ------------------------------------------------------------------
+    def scatter(self, trees: Sequence[Any]) -> None:
+        client = self._ensure_client(workers=1)
+        with self._lock:
+            for tree in trees:
+                self._scatter_tree(client, tree)
+
+    def map_cells(self, cells: Sequence[Cell], workers: int) -> List[Any]:
+        client = self._ensure_client(workers)
+        with self._lock:
+            futures = [
+                client.submit(_dask_solve, *self._spec(client, cell), pure=False)
+                for cell in cells
+            ]
+        return self._gather(futures)
+
+    def submit_cell(self, cell: Cell, workers: int):
+        client = self._ensure_client(workers)
+        with self._lock:
+            return client.submit(_dask_solve, *self._spec(client, cell), pure=False)
+
+    def submit_chunk(self, cells: Sequence[Cell], workers: int):
+        client = self._ensure_client(workers)
+        with self._lock:
+            specs = [self._spec(client, cell) for cell in cells]
+        return client.submit(_dask_solve_chunk, specs, pure=False)
+
+    def _gather(self, futures: List[Any]) -> List[Any]:
+        """Collect results with per-future timeouts growing by the rate.
+
+        ``pure=False`` submissions rerun identical cells (benchmark rounds
+        must re-measure, not memoize), so gathering is a plain ordered
+        walk; a timeout below ``timeout_max`` widens and retries the same
+        future rather than failing the batch.
+        """
+        import asyncio
+
+        reports: List[Any] = []
+        timeout = self.timeout_start
+        for future in futures:
+            while True:
+                if self._stop.is_set():
+                    for pending in futures[len(reports):]:
+                        pending.cancel()
+                    raise RuntimeError(
+                        "dask backend is stopping; gather abandoned"
+                    )
+                try:
+                    reports.append(future.result(timeout=timeout))
+                    break
+                except (TimeoutError, asyncio.TimeoutError):
+                    if timeout >= self.timeout_max:
+                        raise
+                    timeout = min(
+                        self.timeout_max, timeout * self.timeout_grow_rate
+                    )
+        return reports
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._stop.set()
+
+    def reset(self) -> None:
+        # a dask scheduler heals worker deaths itself; nothing to rebuild
+        pass
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._scattered.clear()
+            self._by_kernel.clear()
+            client, cluster = self._client, self._cluster
+            if self._owns_client:
+                self._client = None
+            self._cluster = None
+            self._stop.clear()
+        if self._owns_client and client is not None:
+            try:
+                client.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        if cluster is not None:
+            try:
+                cluster.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            client = self._client
+            doc = {
+                "alive": client is not None,
+                "workers": 0,
+                "scatters": self.scatters,
+                "reuses": self.reuses,
+                "scattered": len(self._scattered),
+            }
+            if client is not None:
+                try:
+                    doc["workers"] = len(
+                        client.scheduler_info().get("workers", {})
+                    )
+                except Exception:  # pragma: no cover - scheduler went away
+                    pass
+        return {"cluster": doc}

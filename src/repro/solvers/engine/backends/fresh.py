@@ -1,0 +1,51 @@
+"""The legacy one-shot pool backend (``pool="fresh"``).
+
+One :class:`~concurrent.futures.ProcessPoolExecutor` per ``map_cells``
+call, torn down on the way out -- the pre-engine ``solve_many`` behaviour,
+kept as a migration escape hatch and as the measured baseline the
+persistent engine is compared against.  Payloads are whole pickled trees
+(no arena), ``chunksize=1``, worker count clamped to the physical core
+count, exactly as the legacy ``_run_pool`` did.
+
+No asynchronous seam (``supports_futures = False``): a backend that builds
+and discards its pool per call has no executor for futures to outlive, so
+the campaign planner runs it through blocking batches and the service
+daemon refuses it outright (``service = False``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Sequence
+
+from .base import Cell, ExecutorBackend, ExecutorUnavailable
+
+__all__ = ["FreshBackend"]
+
+
+class FreshBackend(ExecutorBackend):
+    """Legacy one-shot process pool per batch."""
+
+    name = "fresh"
+    summary = "legacy one-shot process pool per call (no reuse)"
+    releases_gil = True
+    supports_futures = False
+    service = False
+
+    def map_cells(self, cells: Sequence[Cell], workers: int) -> List[Any]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ...facade import _solve_task
+
+        max_workers = min(workers, len(cells), os.cpu_count() or 1)
+        try:
+            # pool construction allocates the multiprocessing queues and
+            # semaphores: this is where sandboxed platforms fail with
+            # OSError/PermissionError
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        except OSError as exc:
+            raise ExecutorUnavailable(
+                "this platform cannot spawn worker processes"
+            ) from exc
+        with pool:
+            return list(pool.map(_solve_task, cells, chunksize=1))

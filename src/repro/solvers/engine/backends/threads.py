@@ -1,0 +1,94 @@
+"""In-process thread pool backend (``pool="threads"``).
+
+A grow-never-shrink :class:`~concurrent.futures.ThreadPoolExecutor`
+(managed by the same :class:`~repro.solvers.engine.pool.PersistentPool`
+lifecycle as the process engine, ``kind="thread"``) running raw cells via
+the facade's in-process solve path.  No arena, no pickling: threads share
+the parent's heap, so trees need no shipping at all and unpicklable
+options are a non-issue.
+
+Today the pure-Python solvers hold the GIL (``releases_gil = False``), so
+``threads`` is about correctness of the seam and zero-copy dispatch, not
+speed-up; once the compiled (numba) solver tier lands, the same backend
+parallelizes for real.  Results are bit-identical to ``serial`` either
+way.  Sleep- or I/O-bound cells (the straggler tests, service traffic) do
+overlap, which is what the campaign planner's work-splitting exercises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Sequence
+
+from ..pool import PersistentPool
+from .base import (
+    Cell,
+    ExecutorBackend,
+    ExecutorUnavailable,
+    _solve_cell,
+    _solve_chunk,
+)
+
+__all__ = ["ThreadsBackend"]
+
+
+class ThreadsBackend(ExecutorBackend):
+    """Persistent in-process thread pool over raw cells."""
+
+    name = "threads"
+    summary = "in-process thread pool (GIL-bound until the compiled tier)"
+
+    def __init__(self) -> None:
+        self.pool = PersistentPool(kind="thread")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _ensure(self, workers: int):
+        executor = self.pool.ensure(workers)
+        if executor is None:  # pragma: no cover - thread pools build anywhere
+            raise ExecutorUnavailable("this platform cannot start threads")
+        return executor
+
+    def _retry_on_grow(self, executor, call):
+        try:
+            return call(executor)
+        except RuntimeError:
+            # a concurrent caller grew the pool between ensure() and the
+            # call; retry once on the replacement (see PersistentBackend)
+            with self._lock:
+                current = self.pool.executor
+            if current is None or current is executor:
+                raise
+            return call(current)
+
+    # ------------------------------------------------------------------
+    def map_cells(self, cells: Sequence[Cell], workers: int) -> List[Any]:
+        with self._lock:
+            executor = self._ensure(workers)
+        return self._retry_on_grow(
+            executor, lambda ex: list(ex.map(_solve_cell, cells))
+        )
+
+    def submit_cell(self, cell: Cell, workers: int):
+        with self._lock:
+            executor = self._ensure(workers)
+        return self._retry_on_grow(
+            executor, lambda ex: ex.submit(_solve_cell, cell)
+        )
+
+    def submit_chunk(self, cells: Sequence[Cell], workers: int):
+        with self._lock:
+            executor = self._ensure(workers)
+        return self._retry_on_grow(
+            executor, lambda ex: ex.submit(_solve_chunk, list(cells))
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.pool.reset()
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"pool": self.pool.snapshot()}

@@ -1,11 +1,11 @@
-"""Payload dispatch: compact cells fanned over the persistent pool.
+"""Batch/submit dispatch over a pluggable executor backend.
 
 A *cell* is one solver invocation: ``(tree, algorithm, memory, options)``.
-:meth:`SolveEngine.run_batch` turns a list of cells into compact payloads --
-``(TreeRef, algorithm, memory, options)`` tuples whose tree part is a token
-into the shared arena -- and maps them over the persistent pool with a
-computed chunk size, so a 10 000-cell campaign costs hundreds of executor
-messages rather than 10 000, and no message carries a pickled tree.
+:class:`SolveEngine` owns the cross-cutting concerns -- the stop flag,
+serial-fallback warnings, observability counters -- and delegates actual
+execution to an :class:`~.backends.ExecutorBackend` chosen by name from
+the backend registry (``persistent`` by default: the shared arena +
+persistent process pool; see :mod:`repro.solvers.engine.backends`).
 
 Results come back in cell order and are bit-identical to the serial path
 (``wall_time``, stamped inside the worker, is excluded from report
@@ -24,8 +24,15 @@ import warnings
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..report import SolveReport
-from .arena import TreeArena, TreeRef, resolve
-from .pool import PersistentPool
+from .backends import ExecutorBackend, ExecutorUnavailable, create_backend
+
+# compatibility re-exports: the worker entry point and chunk sizing lived
+# here before the backend split, and pickled references resolve by module
+from .backends.persistent import (  # noqa: F401
+    MAX_CHUNKSIZE,
+    _compute_chunksize,
+    _solve_payload,
+)
 
 __all__ = ["EngineStoppedError", "SolveEngine", "get_engine", "shutdown_engine"]
 
@@ -40,42 +47,38 @@ class EngineStoppedError(RuntimeError):
     clears the flag, so an engine remains reusable after a full drain.
     """
 
-#: payloads per executor message: large enough to amortize IPC, small enough
-#: to keep every worker busy (at least ~4 chunks per worker per batch)
-MAX_CHUNKSIZE = 64
-
 Cell = Tuple[Any, str, Optional[float], Dict[str, Any]]
 
 
-def _solve_payload(payload: Tuple[TreeRef, str, Optional[float], Dict[str, Any]]):
-    """Module-level worker entry point (importable under any start method).
-
-    Lenient dispatch, as in the serial batch path: one option set serves
-    algorithms with different signatures.
-    """
-    from ..facade import _dispatch
-
-    ref, algorithm, memory, options = payload
-    return _dispatch(resolve(ref), algorithm, memory, options, strict=False)
-
-
-def _compute_chunksize(n_payloads: int, workers: int) -> int:
-    return max(1, min(MAX_CHUNKSIZE, n_payloads // (workers * 4) or 1))
-
-
 class SolveEngine:
-    """Persistent pool + shared arena behind one ``run_batch`` call.
+    """Stop flag + counters + fallback policy over one executor backend.
 
-    One engine instance (usually the process-wide default from
-    :func:`get_engine`) is shared by every ``solve_many`` call and bench
-    round; :meth:`shutdown` releases the workers and the shared-memory
-    segments explicitly, and is registered via ``atexit`` for the default
-    engine.
+    One engine instance (usually a process-wide default from
+    :func:`get_engine`, one per backend name) is shared by every
+    ``solve_many`` call and bench round; :meth:`shutdown` releases the
+    backend's workers and shipped state explicitly, and is registered via
+    ``atexit`` for the default engines.
+
+    ``backend`` is a registry name (``"persistent"``, ``"threads"``, ...)
+    or an already-constructed :class:`~.backends.ExecutorBackend` (tests,
+    injected dask clients); extra keyword arguments go to the backend
+    constructor.  ``use_shared_memory`` is forwarded to the persistent
+    backend's arena, preserving the historical signature.
     """
 
-    def __init__(self, *, use_shared_memory: Optional[bool] = None) -> None:
-        self.arena = TreeArena(use_shared_memory=use_shared_memory)
-        self.pool = PersistentPool()
+    def __init__(
+        self,
+        *,
+        backend: Any = "persistent",
+        use_shared_memory: Optional[bool] = None,
+        **backend_options: Any,
+    ) -> None:
+        if use_shared_memory is not None:
+            backend_options.setdefault("use_shared_memory", use_shared_memory)
+        if isinstance(backend, ExecutorBackend):
+            self.backend = backend
+        else:
+            self.backend = create_backend(backend or "persistent", **backend_options)
         self._lock = threading.Lock()
         self._warned_unavailable = False
         self._stopping = threading.Event()
@@ -86,6 +89,21 @@ class SolveEngine:
         self.submits = 0
         self.serial_fallbacks = 0
         self.broken_pools = 0
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    # the persistent backend's plumbing, surfaced for callers that predate
+    # the backend split (tests, the service daemon's stats); ``None`` for
+    # backends without a pool or arena
+    @property
+    def pool(self):
+        return getattr(self.backend, "pool", None)
+
+    @property
+    def arena(self):
+        return getattr(self.backend, "arena", None)
 
     # ------------------------------------------------------------------
     # lifecycle: context manager, stop flag
@@ -106,9 +124,11 @@ class SolveEngine:
 
         Work already accepted keeps running -- this is the first half of a
         graceful drain (reject new, finish old); :meth:`shutdown` is the
-        second half and clears the flag again.
+        second half and clears the flag again.  The backend's own stop
+        signal (dask's gather abandon) is raised alongside.
         """
         self._stopping.set()
+        self.backend.stop()
 
     def _check_stopped(self) -> None:
         if self._stopping.is_set():
@@ -117,16 +137,28 @@ class SolveEngine:
                 "shutdown() completes"
             )
 
+    def _warn_unavailable(self, exc: Exception, what: str) -> None:
+        with self._lock:
+            self.serial_fallbacks += 1
+            if self._warned_unavailable:
+                return
+            self._warned_unavailable = True
+        warnings.warn(
+            f"solve engine: {exc}; {what} (warned once per engine)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
     # ------------------------------------------------------------------
     def run_batch(
         self, cells: Sequence[Cell], workers: int
     ) -> Optional[List[SolveReport]]:
-        """Solve every cell on the pool; ``None`` means "run serially".
+        """Solve every cell on the backend; ``None`` means "run serially".
 
-        Cells sharing a tree should be adjacent (tree-major order): chunks
-        then reference a single arena token each, and blob-transport
-        fallbacks serialize the tree once per chunk (pickle memo) instead of
-        once per payload.
+        Cells sharing a tree should be adjacent (tree-major order): arena
+        chunks then reference a single token each, and blob-transport
+        fallbacks serialize the tree once per chunk (pickle memo) instead
+        of once per payload.
 
         The requested worker count is clamped to the batch size and twice
         the machine's core count: up to one extra worker per core hides the
@@ -140,48 +172,14 @@ class SolveEngine:
         with self._lock:
             self.batches += 1
             self.cells += len(cells)
-            executor = self.pool.ensure(workers)
-            if executor is None:
-                self.serial_fallbacks += 1
-                if not self._warned_unavailable:
-                    self._warned_unavailable = True
-                    warnings.warn(
-                        "solve engine: this platform cannot spawn worker "
-                        "processes; batches run serially (warned once per "
-                        "engine)",
-                        RuntimeWarning,
-                        stacklevel=3,
-                    )
-                return None
-            refs: Dict[int, TreeRef] = {}
-            payloads = []
-            for tree, algorithm, memory, options in cells:
-                ref = refs.get(id(tree))
-                if ref is None:
-                    ref = refs[id(tree)] = self.arena.export(tree)
-                payloads.append((ref, algorithm, memory, options))
-            chunksize = _compute_chunksize(len(payloads), self.pool.workers)
         from concurrent.futures.process import BrokenProcessPool
         from pickle import PicklingError
 
         try:
-            try:
-                return list(
-                    executor.map(_solve_payload, payloads, chunksize=chunksize)
-                )
-            except RuntimeError:
-                # a concurrent caller may have grown the pool between our
-                # ensure() and map(): the drained old executor then rejects
-                # new futures ("cannot schedule new futures after shutdown").
-                # Retry once on the replacement; genuine solver RuntimeErrors
-                # re-raise because the pool is unchanged.
-                with self._lock:
-                    current = self.pool.executor
-                if current is None or current is executor:
-                    raise
-                return list(
-                    current.map(_solve_payload, payloads, chunksize=chunksize)
-                )
+            return self.backend.map_cells(list(cells), workers)
+        except ExecutorUnavailable as exc:
+            self._warn_unavailable(exc, "batches run serially")
+            return None
         except BrokenProcessPool as exc:
             warnings.warn(
                 f"solve engine: worker pool broke ({exc}); restarting the pool "
@@ -192,7 +190,7 @@ class SolveEngine:
             with self._lock:
                 self.broken_pools += 1
                 self.serial_fallbacks += 1
-                self.pool.reset()
+            self.backend.reset()
             return None
         except PicklingError as exc:
             warnings.warn(
@@ -206,149 +204,144 @@ class SolveEngine:
             return None
 
     def submit(self, cell: Cell, workers: int):
-        """Submit one cell asynchronously; a Future, or ``None`` = "go serial".
+        """Submit one cell asynchronously; a future, or ``None`` = "go serial".
 
         This is the service daemon's seam into the engine: where
         :meth:`run_batch` blocks on a whole campaign grid, ``submit`` hands
-        back a :class:`concurrent.futures.Future` per request, so an asyncio
-        front end can interleave admission, dispatch and completion.  The
+        back one future per request, so an asyncio front end can interleave
+        admission, dispatch and completion.  On the persistent backend the
         tree is interned in the shared arena exactly as in the batch path
         (idempotent per kernel: a request stream hitting the same tree ships
-        it to the workers once).  ``None`` means the platform cannot run
-        subprocesses -- callers fall back to in-process execution; the
-        engine's stop flag raises :class:`EngineStoppedError` instead, so a
-        draining daemon never quietly enqueues new work.
+        it to the workers once); on dask the kernel is scattered once.
+        ``None`` means the platform cannot run this backend -- callers fall
+        back to in-process execution; the engine's stop flag raises
+        :class:`EngineStoppedError` instead, so a draining daemon never
+        quietly enqueues new work.
 
         Unlike :meth:`run_batch`, infrastructure failures surface on the
         *returned future* (e.g. ``BrokenProcessPool``), because by then the
         caller has moved on; callers owning a fallback executor should
-        re-run the cell there.
+        re-run the cell there.  The future is a
+        :class:`concurrent.futures.Future` for in-process backends and a
+        dask future for ``dask`` -- both expose ``result``/``cancel``/
+        ``done``.
         """
         self._check_stopped()
         cores = os.cpu_count() or 1
         workers = max(1, min(workers, 2 * cores))
         with self._lock:
             self.submits += 1
-            executor = self.pool.ensure(workers)
-            if executor is None:
-                self.serial_fallbacks += 1
-                if not self._warned_unavailable:
-                    self._warned_unavailable = True
-                    warnings.warn(
-                        "solve engine: this platform cannot spawn worker "
-                        "processes; submissions run in-process (warned once "
-                        "per engine)",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                return None
-            tree, algorithm, memory, options = cell
-            payload = (self.arena.export(tree), algorithm, memory, options)
         try:
-            return executor.submit(_solve_payload, payload)
-        except RuntimeError:
-            # a concurrent caller grew the pool between ensure() and
-            # submit(): retry once on the replacement (see run_batch)
-            with self._lock:
-                current = self.pool.executor
-            if current is None or current is executor:
-                raise
-            return current.submit(_solve_payload, payload)
+            return self.backend.submit_cell(cell, workers)
+        except ExecutorUnavailable as exc:
+            self._warn_unavailable(exc, "submissions run in-process")
+            return None
+
+    def submit_chunk(self, cells: Sequence[Cell], workers: int):
+        """Submit one work unit (a cell list) as a single backend future.
+
+        The campaign planner's work-splitting seam: the future resolves to
+        the unit's report list, in cell order.  ``None`` means the backend
+        cannot execute right now (the dispatcher falls back to serial);
+        the stop flag raises :class:`EngineStoppedError` as in
+        :meth:`submit`.
+        """
+        self._check_stopped()
+        cores = os.cpu_count() or 1
+        workers = max(1, min(workers, 2 * cores))
+        with self._lock:
+            self.submits += 1
+            self.cells += len(cells)
+        try:
+            return self.backend.submit_chunk(list(cells), workers)
+        except ExecutorUnavailable as exc:
+            self._warn_unavailable(exc, "work units run in-process")
+            return None
+
+    def reset(self) -> None:
+        """Heal broken worker plumbing (backend-generic pool reset)."""
+        self.backend.reset()
 
     def shutdown(self) -> None:
-        """Terminate the workers and unlink every shared-memory segment.
+        """Release the backend's workers and shipped state.
 
         Idempotent, and clears the stop flag on the way out: an engine can
         be shut down any number of times, and after a ``stop(); shutdown()``
-        drain it accepts work again (a fresh pool builds on demand).
+        drain it accepts work again (fresh plumbing builds on demand).
         """
         with self._lock:
-            self.pool.shutdown()
-            self.arena.close()
+            self.backend.shutdown()
             self._stopping.clear()
 
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """Engine-level instrumentation: dispatch, pool and arena counters.
+        """Engine-level instrumentation: dispatch + backend counters.
 
         Cheap and non-blocking (no worker round trips) -- this is what the
         service daemon embeds in every ``/stats`` document and exports under
-        ``/metrics``.  The ship-vs-reuse ratio lives under ``arena``
-        (``exports`` vs ``reuses``), the pool's grow/reset event counts
-        under ``pool``; worker kernel-cache hit rates need a worker round
-        trip, so they are sampled separately
+        ``/metrics``.  The backend contributes its own sub-documents
+        (``pool``/``arena`` for the persistent engine, ``pool`` for
+        threads, ``cluster`` for dask); worker kernel-cache hit rates need
+        a worker round trip, so they are sampled separately
         (:meth:`sample_worker_caches`).
         """
         with self._lock:
-            return {
+            doc: Dict[str, Any] = {
+                "backend": self.backend.name,
                 "batches": self.batches,
                 "cells": self.cells,
                 "submits": self.submits,
                 "serial_fallbacks": self.serial_fallbacks,
                 "broken_pools": self.broken_pools,
                 "stopping": self._stopping.is_set(),
-                "pool": self.pool.snapshot(),
-                "arena": self.arena.snapshot(),
             }
+        doc.update(self.backend.snapshot())
+        return doc
 
     def sample_worker_caches(self, timeout: float = 1.0) -> List[Dict[str, Any]]:
-        """Best-effort worker kernel-cache stats, one entry per worker seen.
-
-        Submits the picklable :func:`~repro.solvers.engine.arena.worker_cache_stats`
-        probe ``2 x workers`` times and deduplicates by pid -- sampling, not
-        a barrier: an idle pool answers from every worker, a busy pool from
-        whichever workers pick the probes up first.  Returns ``[]`` when no
-        pool is alive (serial platforms, or before the first batch).
-        """
-        from .arena import worker_cache_stats
-
-        with self._lock:
-            executor = self.pool.executor
-            workers = self.pool.workers
-        if executor is None or workers < 1:
+        """Best-effort worker kernel-cache stats (persistent backend only)."""
+        sampler = getattr(self.backend, "sample_worker_caches", None)
+        if sampler is None:
             return []
-        futures = []
-        try:
-            for _ in range(2 * workers):
-                futures.append(executor.submit(worker_cache_stats))
-        except RuntimeError:  # pool shut down underneath us
-            return []
-        by_pid: Dict[int, Dict[str, Any]] = {}
-        for future in futures:
-            try:
-                stats = future.result(timeout=timeout)
-            except Exception:
-                continue
-            by_pid[int(stats["pid"])] = stats
-        return [by_pid[pid] for pid in sorted(by_pid)]
+        return sampler(timeout=timeout)
 
 
 # ----------------------------------------------------------------------
-# the process-wide default engine
+# the process-wide default engines, one per backend name
 # ----------------------------------------------------------------------
-_default_engine: Optional[SolveEngine] = None
+_default_engines: Dict[str, SolveEngine] = {}
 _default_lock = threading.Lock()
+_atexit_registered = False
 
 
-def get_engine() -> SolveEngine:
-    """The process-wide :class:`SolveEngine`, created on first use."""
-    global _default_engine
+def get_engine(backend: Optional[str] = None) -> SolveEngine:
+    """The process-wide :class:`SolveEngine` for ``backend``, created lazily.
+
+    ``None`` means the default backend (``"persistent"``).  One engine is
+    kept per backend name, so ``solve_many(pool="threads")`` and the
+    default persistent batches coexist without tearing each other's
+    workers down; :func:`shutdown_engine` releases them all.
+    """
+    global _atexit_registered
+    name = backend or "persistent"
     with _default_lock:
-        if _default_engine is None:
+        engine = _default_engines.get(name)
+        if engine is None:
             import atexit
 
-            _default_engine = SolveEngine()
-            atexit.register(shutdown_engine)
-        return _default_engine
+            engine = _default_engines[name] = SolveEngine(backend=name)
+            if not _atexit_registered:
+                _atexit_registered = True
+                atexit.register(shutdown_engine)
+        return engine
 
 
 def shutdown_engine() -> None:
-    """Shut down the default engine (idempotent; a new one builds on demand)."""
-    global _default_engine
+    """Shut down every default engine (idempotent; rebuilt on demand)."""
     with _default_lock:
-        engine = _default_engine
-        _default_engine = None
-    if engine is not None:
+        engines = list(_default_engines.values())
+        _default_engines.clear()
+    for engine in engines:
         engine.shutdown()

@@ -27,15 +27,24 @@ __all__ = ["PersistentPool"]
 
 
 class PersistentPool:
-    """One reusable process pool, created on demand.
+    """One reusable worker pool, created on demand.
 
     Lifecycle events are counted (``creations``, ``grows``, ``resets``) so
     the observability layer can surface how often the pool was (re)built --
     a growing ``resets`` count on a live service is a worker-crash signal,
     a growing ``grows`` count means callers keep asking for more workers.
+
+    ``kind`` selects the executor family: ``"process"`` (the default, a
+    :class:`~concurrent.futures.ProcessPoolExecutor`) or ``"thread"`` (a
+    :class:`~concurrent.futures.ThreadPoolExecutor` for the in-process
+    ``threads`` backend).  The grow-never-shrink lifecycle, fork guard and
+    counters are identical for both.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, kind: str = "process") -> None:
+        if kind not in ("process", "thread"):
+            raise ValueError(f"unknown pool kind {kind!r}")
+        self._kind = kind
         self._executor = None
         self._workers = 0
         self._pid = os.getpid()
@@ -76,14 +85,18 @@ class PersistentPool:
             return None
         if self._executor is not None and self._workers >= workers:
             return self._executor
-        from concurrent.futures import ProcessPoolExecutor
+        if self._kind == "thread":
+            from concurrent.futures import ThreadPoolExecutor as _Executor
+        else:
+            from concurrent.futures import ProcessPoolExecutor as _Executor
 
         previous = self._executor
         try:
             # pool construction allocates the multiprocessing queues and
             # semaphores: this is where sandboxed platforms fail with
-            # OSError/PermissionError
-            executor = ProcessPoolExecutor(max_workers=workers)
+            # OSError/PermissionError (thread pools construct lazily and
+            # practically never fail here)
+            executor = _Executor(max_workers=workers)
         except OSError:
             self._unavailable = previous is None
             return previous  # keep a smaller live pool rather than nothing
@@ -133,6 +146,7 @@ class PersistentPool:
         """Lifecycle counters + current shape (for stats and ``/metrics``)."""
         self._fork_guard()
         return {
+            "kind": self._kind,
             "workers": self._workers,
             "alive": self._executor is not None,
             "unavailable": self._unavailable,

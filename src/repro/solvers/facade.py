@@ -5,13 +5,12 @@ These three functions are the intended entry points of the library:
 * :func:`solve` runs one registered algorithm on one tree and returns a
   :class:`~repro.solvers.report.SolveReport`;
 * :func:`solve_many` batches ``trees x algorithms`` and, when ``workers > 1``,
-  fans the batch across worker processes -- by default the persistent
-  shared-memory engine of :mod:`repro.solvers.engine` (workers and resident
-  trees reused across calls), or a legacy one-shot
-  :class:`concurrent.futures.ProcessPoolExecutor` with ``pool="fresh"`` --
-  falling back to serial execution when subprocesses are unavailable, e.g.
-  in sandboxes; results are bit-identical to the serial path because every
-  registered solver is deterministic;
+  fans the batch across an executor backend -- by default the persistent
+  shared-memory process engine of :mod:`repro.solvers.engine` (workers and
+  resident trees reused across calls); ``pool=`` selects any registered
+  backend (see :data:`POOL_MODES`), falling back to serial execution when
+  the platform cannot run it, e.g. in sandboxes; results are bit-identical
+  to the serial path because every registered solver is deterministic;
 * :func:`compare` runs several algorithms on the same tree and returns them
   ranked (peak memory first, then I/O volume, then wall time).
 """
@@ -19,14 +18,13 @@ These three functions are the intended entry points of the library:
 from __future__ import annotations
 
 import inspect
-import os
-import warnings
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from time import perf_counter
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.tree import Tree
+from .engine.backends import backend_names
 from .registry import SolverSpec, get_solver
 from .report import SolveReport
 
@@ -42,9 +40,12 @@ __all__ = [
 #: algorithms compared side by side when :func:`compare` is given none
 DEFAULT_COMPARE_ALGORITHMS = ("postorder", "liu", "minmem")
 
-#: executor modes for parallel batches: the persistent shared-memory engine
-#: (default), a one-shot pool per call (legacy), or forced serial execution
-POOL_MODES = ("persistent", "fresh", "serial")
+#: executor modes for parallel batches, straight from the backend registry
+#: (one source of truth shared with ``bench --pool`` and ``serve --pool``):
+#: the persistent shared-memory process engine (default), a one-shot pool
+#: per call (legacy), forced serial execution, a persistent in-process
+#: thread pool, and an optional ``dask.distributed`` cluster
+POOL_MODES = backend_names()
 
 AlgorithmArg = Union[str, Sequence[str]]
 
@@ -239,13 +240,17 @@ def solve_many(
         Forwarded to every solver with lenient dispatch (options a solver
         does not declare are dropped for that solver, so one option set can
         serve a mixed batch).  The reserved option ``pool`` selects the
-        parallel executor instead of reaching any solver:
-        ``pool="persistent"`` (the default) reuses the process-wide
-        :class:`~repro.solvers.engine.SolveEngine` -- workers stay alive
-        across calls and every tree's kernel is shipped to them exactly once
-        through the shared arena; ``pool="fresh"`` restores the legacy
-        one-shot pool per call; ``pool="serial"`` forces in-process
-        execution regardless of ``workers``.
+        executor backend instead of reaching any solver (any name in
+        :data:`POOL_MODES`): ``pool="persistent"`` (the default) reuses the
+        process-wide :class:`~repro.solvers.engine.SolveEngine` -- workers
+        stay alive across calls and every tree's kernel is shipped to them
+        exactly once through the shared arena; ``pool="fresh"`` restores
+        the legacy one-shot pool per call; ``pool="threads"`` runs on a
+        persistent in-process thread pool; ``pool="dask"`` fans out to a
+        ``dask.distributed`` cluster (optional dependency; raises a
+        :class:`ValueError` subclass when dask is not installed);
+        ``pool="serial"`` forces in-process execution regardless of
+        ``workers``.
 
     Returns
     -------
@@ -268,12 +273,9 @@ def solve_many(
     flat: Optional[List[SolveReport]] = None
     parallel = workers is not None and workers > 1 and len(payloads) > 1
     if parallel and pool != "serial":
-        if pool == "fresh":
-            flat = _run_pool(payloads, workers)
-        else:
-            from .engine import get_engine
+        from .engine import get_engine
 
-            flat = get_engine().run_batch(payloads, workers)
+        flat = get_engine(pool).run_batch(payloads, workers)
     if flat is None:
         flat = [_solve_task(payload) for payload in payloads]
 
@@ -282,44 +284,6 @@ def solve_many(
         chunk = flat[i * len(names) : (i + 1) * len(names)]
         out.append({name: report for name, report in zip(names, chunk)})
     return out
-
-
-def _run_pool(
-    payloads: List[Tuple[Tree, str, Optional[float], Dict[str, Any]]],
-    workers: int,
-) -> Optional[List[SolveReport]]:
-    """Run the batch on a process pool; ``None`` means "fall back to serial".
-
-    Only infrastructure failures (no fork support, broken semaphores,
-    unpicklable custom options) trigger the fallback -- errors raised by the
-    solvers themselves propagate unchanged.
-    """
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
-    from pickle import PicklingError
-
-    max_workers = min(workers, len(payloads), os.cpu_count() or 1)
-    try:
-        # pool construction allocates the multiprocessing queues/semaphores:
-        # this is where sandboxed platforms fail with OSError/PermissionError
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-    except OSError:
-        return None
-    try:
-        with pool:
-            return list(pool.map(_solve_task, payloads, chunksize=1))
-    except (BrokenProcessPool, PicklingError) as exc:
-        # dead workers or unpicklable custom options -> serial fallback;
-        # exceptions raised *by* a solver propagate through map() unchanged.
-        # The fallback is loud: a PicklingError usually means a caller bug
-        # (an unpicklable option), and silently running serially would hide it
-        warnings.warn(
-            f"solve_many: process pool failed ({type(exc).__name__}: {exc}); "
-            "falling back to serial execution",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,180 @@
+"""Tests for the optional ``pool="dask"`` backend (CI optional-deps job).
+
+The whole module skips unless ``dask.distributed`` is importable: the
+local development image deliberately omits it, and the registry tests in
+``tests/test_backends.py`` cover the unavailable path.  Here a real
+single-host ``LocalCluster`` exercises the other side: scatter-once
+broadcasting, bit-identical parity with the serial reference, the
+engine-level lifecycle, and an end-to-end campaign through the bench
+planner's work-splitting dispatcher.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+distributed = pytest.importorskip("distributed")
+
+from repro.bench.runner import run_scenarios  # noqa: E402
+from repro.bench.scenario import Scenario  # noqa: E402
+from repro.core.builders import chain_tree  # noqa: E402
+from repro.solvers import solve, solve_many  # noqa: E402
+from repro.solvers.engine import (  # noqa: E402
+    EngineStoppedError,
+    SolveEngine,
+    shutdown_engine,
+)
+from repro.solvers.engine.backends.dask import DaskBackend  # noqa: E402
+
+from _helpers import make_random_tree  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def dask_client():
+    cluster = distributed.LocalCluster(
+        n_workers=2, threads_per_worker=1, dashboard_address=None
+    )
+    client = distributed.Client(cluster)
+    yield client
+    client.close()
+    cluster.close()
+
+
+@pytest.fixture()
+def backend(dask_client):
+    backend = DaskBackend(client=dask_client)
+    yield backend
+    backend.shutdown()
+
+
+def _cells(kerns, algorithms):
+    return [(kern, name, None, {}) for kern in kerns for name in algorithms]
+
+
+class TestBackendDirect:
+    def test_map_cells_bit_identical_to_serial(self, backend):
+        rng = random.Random(11)
+        kerns = [make_random_tree(18, rng).kernel() for _ in range(2)]
+        algorithms = ("postorder", "liu", "minmem")
+        cells = _cells(kerns, algorithms)
+        reports = backend.map_cells(cells, workers=2)
+        expected = [solve(kern, name) for kern, name, _, _ in cells]
+        assert reports == expected
+
+    def test_scatter_once_per_kernel(self, backend):
+        rng = random.Random(3)
+        kerns = [make_random_tree(14, rng).kernel() for _ in range(2)]
+        backend.map_cells(_cells(kerns, ("postorder", "minmem")), workers=2)
+        assert backend.scatters == 2  # one broadcast per distinct kernel
+        first_reuses = backend.reuses
+        assert first_reuses >= 2  # the second algorithm reused the scatter
+        # a later batch over the same kernels scatters nothing new
+        backend.map_cells(_cells(kerns, ("liu",)), workers=2)
+        assert backend.scatters == 2
+        assert backend.reuses > first_reuses
+        snap = backend.snapshot()["cluster"]
+        assert snap["alive"] and snap["workers"] == 2
+        assert snap["scatters"] == 2
+
+    def test_futures_seam(self, backend):
+        kern = chain_tree(8, f=2.0, n=1.0).kernel()
+        future = backend.submit_cell((kern, "minmem", None, {}), workers=2)
+        assert future.result(timeout=60) == solve(kern, "minmem")
+        chunk = backend.submit_chunk(
+            [(kern, "minmem", None, {}), (kern, "postorder", None, {})],
+            workers=2,
+        )
+        reports = chunk.result(timeout=60)
+        assert [r.algorithm for r in reports] == ["minmem", "postorder"]
+
+    def test_injected_client_survives_shutdown(self, dask_client):
+        backend = DaskBackend(client=dask_client)
+        kern = chain_tree(6, f=2.0, n=1.0).kernel()
+        backend.map_cells([(kern, "minmem", None, {})], workers=2)
+        backend.shutdown()  # must NOT close the caller's client
+        assert dask_client.scheduler_info()["workers"]
+
+    def test_grow_rate_validation(self):
+        with pytest.raises(ValueError, match="timeout_grow_rate"):
+            DaskBackend(timeout_grow_rate=1.0)
+
+
+class TestEngineSeam:
+    def test_run_batch_and_snapshot(self, dask_client):
+        rng = random.Random(5)
+        kerns = [make_random_tree(16, rng).kernel() for _ in range(2)]
+        cells = _cells(kerns, ("postorder", "minmem"))
+        with SolveEngine(backend=DaskBackend(client=dask_client)) as engine:
+            reports = engine.run_batch(cells, workers=2)
+            assert reports == [solve(k, name) for k, name, _, _ in cells]
+            snap = engine.snapshot()
+            assert snap["backend"] == "dask"
+            assert snap["cluster"]["scatters"] == 2
+
+    def test_stop_rejects_then_shutdown_rearms(self, dask_client):
+        kern = chain_tree(6, f=2.0, n=1.0).kernel()
+        cells = [(kern, "minmem", None, {})] * 2
+        engine = SolveEngine(backend=DaskBackend(client=dask_client))
+        try:
+            assert engine.run_batch(cells, workers=2)
+            engine.stop()
+            with pytest.raises(EngineStoppedError):
+                engine.run_batch(cells, workers=2)
+            engine.shutdown()
+            assert not engine.stopping
+            assert engine.run_batch(cells, workers=2)
+        finally:
+            engine.shutdown()
+
+    def test_solve_many_pool_dask(self, dask_client):
+        # route the facade through an injected-client engine so the test
+        # controls the cluster's lifetime
+        import repro.solvers.engine.dispatch as dispatch
+
+        engine = SolveEngine(backend=DaskBackend(client=dask_client))
+        dispatch._default_engines["dask"] = engine
+        try:
+            rng = random.Random(9)
+            kerns = [make_random_tree(15, rng).kernel() for _ in range(2)]
+            got = solve_many(kerns, ("postorder", "liu"), workers=2, pool="dask")
+            want = solve_many(kerns, ("postorder", "liu"), workers=1)
+            assert got == want
+        finally:
+            dispatch._default_engines.pop("dask", None)
+            engine.shutdown()
+
+
+class TestCampaign:
+    def test_bench_campaign_work_splits_on_dask(self):
+        # end-to-end through get_engine("dask"): the backend boots its own
+        # LocalCluster sized to the worker count
+        campaign = [
+            Scenario(
+                name="dask_smoke",
+                family="synthetic",
+                builder=lambda seed: [
+                    (f"chain-{n}", chain_tree(n, f=2.0, n=1.0))
+                    for n in (6, 8, 10, 12)
+                ],
+                algorithms=("postorder", "liu"),
+                budget_fractions=(),
+                summary="small grid for the dask campaign seam",
+            )
+        ]
+        try:
+            threaded = run_scenarios(
+                campaign, seed=2, repeat=1, workers=2, pool="dask"
+            )
+        finally:
+            shutdown_engine()  # closes the engine-owned LocalCluster
+        serial = run_scenarios(campaign, seed=2, repeat=1, pool="serial")
+        assert threaded.extras["backend"] == "dask"
+        assert threaded.extras["work_units"] > 0
+        stripped = [
+            [replace(r, best_time=0.0, mean_time=0.0) for r in run.records]
+            for run in (threaded, serial)
+        ]
+        assert stripped[0] == stripped[1]

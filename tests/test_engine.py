@@ -456,7 +456,7 @@ class TestEngineObservability:
         snap = pool.snapshot()
         assert snap == {
             "workers": 0, "alive": False, "unavailable": False,
-            "creations": 0, "grows": 0, "resets": 0,
+            "creations": 0, "grows": 0, "resets": 0, "kind": "process",
         }
         executor = pool.ensure(2)
         try:
