@@ -142,7 +142,7 @@ from .solvers import (
     solve_many,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

@@ -65,6 +65,7 @@ from .replay import (
     replay_schedule,
     replay_traversal,
 )
+from .checkpoint import CampaignJournal, JournalError
 from .runner import BenchRecord, BenchRun, run_scenarios
 from .scenario import (
     Scenario,
@@ -107,6 +108,9 @@ __all__ = [
     "BenchRecord",
     "BenchRun",
     "run_scenarios",
+    # checkpoint
+    "CampaignJournal",
+    "JournalError",
     # traffic
     "TrafficCell",
     "TrafficScenario",

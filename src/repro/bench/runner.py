@@ -184,6 +184,10 @@ def run_scenarios(
     pool: Optional[str] = None,
     saturate_factor: float = 2.0,
     straggler_factor: float = 4.0,
+    fault_plan: Any = None,
+    retry_policy: Any = None,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> BenchRun:
     """Execute ``scenarios`` and collect one record per benchmark cell.
 
@@ -229,6 +233,26 @@ def run_scenarios(
         A pending work unit older than ``straggler_factor`` times the
         median completed-unit round trip (and at least 50 ms) is split in
         half and resubmitted; the first finished copy of each cell wins.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` to inject into the campaign
+        (chaos mode).  The dispatcher then builds its own engine around a
+        :class:`~repro.faults.FaultyBackend` wrapper -- never the shared
+        process-wide engine, so chaos cannot leak into other callers --
+        and the run-level ``extras`` gain a ``faults`` document (plan +
+        injections).  Results stay bit-identical to a fault-free run.
+    retry_policy:
+        The :class:`~repro.faults.RetryPolicy` governing work-unit
+        retries (and, in chaos mode, the dedicated engine's batch
+        retries).  ``None`` uses the default policy.
+    checkpoint:
+        Path of a journal to write: every completed timed cell is
+        appended (and flushed) as it finishes, so a killed campaign can
+        be resumed.  Truncates any existing file at the path.
+    resume:
+        Path of an existing journal to resume from: completed cells are
+        skipped (their reports rehydrate from the journal; run-level
+        ``extras`` report them as ``resumed_cells``) and new completions
+        keep appending to the same file.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -242,26 +266,69 @@ def run_scenarios(
         raise ValueError("saturate_factor must be > 0")
     if straggler_factor <= 0:
         raise ValueError("straggler_factor must be > 0")
+    if checkpoint and resume and str(checkpoint) != str(resume):
+        raise ValueError(
+            "checkpoint and resume name different files; a resumed campaign "
+            "keeps appending to the journal it resumes from"
+        )
     start = perf_counter()
+    journal = None
+    if checkpoint or resume:
+        from .checkpoint import CampaignJournal
+
+        params = {
+            "seed": seed,
+            "repeat": repeat,
+            "warmup": warmup,
+            "scenarios": [s.name for s in scenarios],
+            "engine": engine,
+            "validate": validate,
+        }
+        context = {"workers": workers, "pool": pool}
+        if resume:
+            journal = CampaignJournal.resume(resume, params, context)
+        else:
+            journal = CampaignJournal.fresh(checkpoint, params, context)
     dispatcher = _CampaignDispatcher(
         workers=workers,
         pool=pool,
         saturate_factor=saturate_factor,
         straggler_factor=straggler_factor,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     records: List[BenchRecord] = []
-    for scenario in scenarios:
-        records.extend(
-            _run_scenario(
-                scenario,
-                seed=seed,
-                repeat=repeat,
-                warmup=warmup,
-                validate=validate,
-                engine=engine,
-                dispatcher=dispatcher,
+    try:
+        for scenario in scenarios:
+            records.extend(
+                _run_scenario(
+                    scenario,
+                    seed=seed,
+                    repeat=repeat,
+                    warmup=warmup,
+                    validate=validate,
+                    engine=engine,
+                    dispatcher=dispatcher,
+                    journal=journal,
+                )
             )
-        )
+    finally:
+        dispatcher.close()
+        if journal is not None:
+            journal.close()
+    extras: Dict[str, Any] = {
+        "backend": dispatcher.backend_name,
+        "work_units": dispatcher.work_units,
+        "straggler_resplits": dispatcher.straggler_resplits,
+        "unit_retries": dispatcher.unit_retries,
+    }
+    fault_summary = dispatcher.fault_summary()
+    if fault_summary is not None:
+        extras["faults"] = fault_summary
+    if journal is not None:
+        extras["checkpoint"] = str(journal.path)
+        extras["checkpoint_cells"] = journal.cells_written
+        extras["resumed_cells"] = journal.cells_resumed
     return BenchRun(
         records=tuple(records),
         seed=seed,
@@ -271,11 +338,7 @@ def run_scenarios(
         scenarios=tuple(s.name for s in scenarios),
         pool=pool,
         campaign_seconds=perf_counter() - start,
-        extras={
-            "backend": dispatcher.backend_name,
-            "work_units": dispatcher.work_units,
-            "straggler_resplits": dispatcher.straggler_resplits,
-        },
+        extras=extras,
     )
 
 
@@ -299,6 +362,7 @@ class _WorkUnit:
     future: Any
     submitted: float
     split: bool = False  # re-split already fired; never split twice
+    attempts: int = 1  # tries of this [start, stop) range, for the policy
 
 
 class _CampaignDispatcher:
@@ -320,14 +384,41 @@ class _CampaignDispatcher:
         pool: Optional[str],
         saturate_factor: float = 2.0,
         straggler_factor: float = 4.0,
+        fault_plan: Any = None,
+        retry_policy: Any = None,
     ) -> None:
         self.workers = workers or 1
         self.saturate_factor = saturate_factor
         self.straggler_factor = straggler_factor
         self.work_units = 0
         self.straggler_resplits = 0
+        self.unit_retries = 0
+        if retry_policy is None:
+            from ..faults.policy import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
+        self._retry_budget = retry_policy.new_budget()
         self._engine = None
-        if workers is not None and workers > 1 and pool != "serial":
+        self._owns_engine = False
+        if fault_plan is not None:
+            # chaos mode gets a dedicated engine around a FaultyBackend
+            # wrapper -- never the shared process-wide engine, which other
+            # callers (the service daemon, solve_many) may be using
+            from ..faults.injector import FaultyBackend
+            from ..solvers.engine import SolveEngine
+            from ..solvers.engine.backends import create_backend
+
+            name = pool or (
+                "persistent" if workers is not None and workers > 1 else "serial"
+            )
+            inner = create_backend(name)
+            self._engine = SolveEngine(
+                backend=FaultyBackend(inner, fault_plan),
+                retry_policy=retry_policy,
+            )
+            self._owns_engine = True
+        elif workers is not None and workers > 1 and pool != "serial":
             from ..solvers.engine import get_engine
 
             self._engine = get_engine(pool)
@@ -335,6 +426,21 @@ class _CampaignDispatcher:
     @property
     def backend_name(self) -> str:
         return "serial" if self._engine is None else self._engine.backend_name
+
+    def fault_summary(self) -> Optional[Dict[str, Any]]:
+        """The chaos extras document, or ``None`` outside chaos mode."""
+        if not self._owns_engine:
+            return None
+        backend = self._engine.backend
+        return {
+            "plan": backend.plan.describe(),
+            "injected": dict(sorted(backend.injected.items())),
+        }
+
+    def close(self) -> None:
+        """Release a dispatcher-owned chaos engine (shared engines persist)."""
+        if self._owns_engine and self._engine is not None:
+            self._engine.shutdown()
 
     def solve(self, cells: List[_Cell]) -> List[SolveReport]:
         """Solve every cell, in order; bit-identical to the serial path."""
@@ -373,7 +479,9 @@ class _CampaignDispatcher:
         pending: List[_WorkUnit] = []
         rtts: List[float] = []
 
-        def submit(start: int, stop: int) -> Optional[_WorkUnit]:
+        def submit(
+            start: int, stop: int, attempts: int = 1
+        ) -> Optional[_WorkUnit]:
             future = engine.submit_chunk(cells[start:stop], self.workers)
             if future is None:
                 # backend unavailable on this platform: complete inline
@@ -381,27 +489,48 @@ class _CampaignDispatcher:
                     results.setdefault(idx, _solve_task(cells[idx]))
                 return None
             self.work_units += 1
-            unit = _WorkUnit(start, stop, future, perf_counter())
+            unit = _WorkUnit(start, stop, future, perf_counter(), attempts=attempts)
             pending.append(unit)
             return unit
 
         def collect(unit: _WorkUnit) -> None:
             from concurrent.futures import CancelledError
-            from concurrent.futures.process import BrokenProcessPool
-            from pickle import PicklingError
+
+            from ..faults.policy import classify_fault
+            from ..faults.stats import global_fault_stats
 
             try:
                 reports = unit.future.result()
             except CancelledError:
                 return  # a re-split superseded this unit
-            except (BrokenProcessPool, PicklingError) as exc:
+            except Exception as exc:
+                fault = classify_fault(exc)
+                if fault == "solver":
+                    raise  # the solver's own exception: propagate unchanged
+                if fault == "broken_pool":
+                    engine.reset()
+                if self.retry_policy.should_retry(
+                    fault, unit.attempts, self._retry_budget
+                ):
+                    # typed retry: resubmit the same [start, stop) range
+                    # after the policy's deterministic backoff.  The cell
+                    # objects are reused, so a chaos injector neither
+                    # advances its sequence nor re-fires consumed faults.
+                    self.unit_retries += 1
+                    global_fault_stats.record_retry("bench", fault)
+                    time.sleep(
+                        self.retry_policy.delay(
+                            unit.attempts, key=f"unit:{unit.start}-{unit.stop}"
+                        )
+                    )
+                    submit(unit.start, unit.stop, attempts=unit.attempts + 1)
+                    return  # inline fallback inside submit() settles the rest
                 warnings.warn(
-                    f"bench dispatcher: work unit failed ({exc}); resetting "
-                    "the backend and completing the unit in-process",
+                    f"bench dispatcher: work unit failed ({exc}); completing "
+                    "the unit in-process",
                     RuntimeWarning,
                     stacklevel=4,
                 )
-                engine.reset()
                 reports = [_solve_task(c) for c in cells[unit.start:unit.stop]]
             else:
                 rtts.append(perf_counter() - unit.submitted)
@@ -456,6 +585,39 @@ class _CampaignDispatcher:
         ]
 
 
+def _solve_stage(
+    dispatcher: _CampaignDispatcher,
+    journal,
+    scenario_name: str,
+    stage: int,
+    cells: List[_Cell],
+    warm_cells: List[_Cell],
+) -> List[SolveReport]:
+    """Solve one stage grid, via the checkpoint journal when one is active.
+
+    With a journal, cells already recorded (a resumed run) are skipped and
+    their reports rehydrated; only the missing ones are dispatched, and
+    each is journaled as the stage completes.  Warmup runs only when there
+    is timed work left -- a fully resumed stage costs nothing.
+    """
+    if journal is None:
+        dispatcher.solve(warm_cells)  # discarded (barrier below)
+        return dispatcher.solve(cells)
+    cached = journal.cached(scenario_name, stage)
+    missing = [i for i in range(len(cells)) if i not in cached]
+    journal.count_resumed(len(cells) - len(missing))
+    out: List[Optional[SolveReport]] = [
+        cached.get(i) for i in range(len(cells))
+    ]
+    if missing:
+        dispatcher.solve(warm_cells)
+        reports = dispatcher.solve([cells[i] for i in missing])
+        for i, report in zip(missing, reports):
+            out[i] = report
+            journal.record(scenario_name, stage, i, report)
+    return out  # type: ignore[return-value]
+
+
 def _run_scenario(
     scenario: Scenario,
     *,
@@ -465,6 +627,7 @@ def _run_scenario(
     validate: bool,
     dispatcher: _CampaignDispatcher,
     engine: Optional[str] = None,
+    journal=None,
 ) -> List[BenchRecord]:
     """Campaign-planned execution: the scenario grid as backend fan-outs.
 
@@ -504,8 +667,10 @@ def _run_scenario(
             for name in plain
         ]
 
-    dispatcher.solve(_plain_cells(warmup))  # discarded (barrier below)
-    flat1 = dispatcher.solve(_plain_cells(repeat))
+    flat1 = _solve_stage(
+        dispatcher, journal, scenario.name, 1, _plain_cells(repeat),
+        _plain_cells(warmup),
+    )
     timings: Dict[Tuple[int, str], List[float]] = {}
     for r in range(repeat):
         base = r * n_trees * n_plain
@@ -552,9 +717,10 @@ def _run_scenario(
         return cells, meta
 
     warm_cells, _ = _budget_cells(warmup)
-    dispatcher.solve(warm_cells)  # discarded (barrier below)
     timed_cells, meta = _budget_cells(repeat)
-    flat2 = dispatcher.solve(timed_cells)
+    flat2 = _solve_stage(
+        dispatcher, journal, scenario.name, 2, timed_cells, warm_cells
+    )
     budget_reports: Dict[Tuple[int, str], SolveReport] = {}
     budget_times: Dict[Tuple[int, str], List[float]] = {}
     for (i, cell_key), report in zip(meta, flat2):

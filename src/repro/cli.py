@@ -220,6 +220,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="traffic transport: 'inproc' = direct service "
                               "calls, 'stdio' = full NDJSON round trips "
                               "through the stdio front end (default: inproc)")
+    p_bench.add_argument("--faults", default=None, metavar="SPEC",
+                         help="inject a deterministic fault plan into the "
+                              "campaign: comma-separated kind@position[:delay] "
+                              "entries, e.g. 'kill@3,straggler@5:0.2' "
+                              "(see repro.faults)")
+    p_bench.add_argument("--checkpoint", type=Path, default=None, metavar="PATH",
+                         help="journal completed cells to this sidecar file "
+                              "so an interrupted campaign can be resumed")
+    p_bench.add_argument("--resume", type=Path, default=None, metavar="PATH",
+                         help="resume from a checkpoint journal: cells already "
+                              "recorded there are skipped and their reports "
+                              "replayed from the journal")
 
     p_serve = sub.add_parser(
         "serve", help="run the solver service daemon (see repro.service)"
@@ -250,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "not carry one (default: none)")
     p_serve.add_argument("--engine", choices=("kernel", "reference"), default=None,
                          help="execution engine forwarded to every solve")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                         help="consecutive engine infrastructure failures that "
+                              "open the circuit breaker (default: 5)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="seconds the breaker stays open before letting a "
+                              "half-open probe through (default: 30)")
+    p_serve.add_argument("--faults", default=None, metavar="SPEC",
+                         help="inject a deterministic fault plan into the "
+                              "service engine (same grammar as bench --faults; "
+                              "smoke tests drive the breaker with it)")
     from .obs import LOG_LEVELS
 
     p_serve.add_argument("--log-level", choices=LOG_LEVELS, default="info",
@@ -527,16 +550,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not scenarios:
         print(f"error: no scenario matches filter {args.filter!r}", file=sys.stderr)
         return 2
-    run = bench.run_scenarios(
-        scenarios,
-        seed=args.seed,
-        repeat=args.repeat,
-        warmup=args.warmup,
-        workers=args.workers,
-        validate=not args.no_validate,
-        engine=args.engine,
-        pool=args.pool,
-    )
+    fault_plan = None
+    if args.faults is not None:
+        from .faults import parse_faults
+
+        try:
+            fault_plan = parse_faults(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        run = bench.run_scenarios(
+            scenarios,
+            seed=args.seed,
+            repeat=args.repeat,
+            warmup=args.warmup,
+            workers=args.workers,
+            validate=not args.no_validate,
+            engine=args.engine,
+            pool=args.pool,
+            fault_plan=fault_plan,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except (ValueError, bench.JournalError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(run.format_table())
     print(f"\ncampaign wall time: {run.campaign_seconds:.3f}s"
           + (f" (workers={run.workers}, pool={run.pool or 'persistent'})"
@@ -637,6 +676,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --max-pending must be >= 1", file=sys.stderr)
         return 2
 
+    fault_plan = None
+    if args.faults is not None:
+        from .faults import parse_faults
+
+        try:
+            fault_plan = parse_faults(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     async def _run() -> None:
         service = SolverService(
             workers=args.workers,
@@ -645,6 +694,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             default_deadline=args.deadline,
             solver_options=solver_options,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            fault_plan=fault_plan,
         )
         async with service:
             if args.stdio:

@@ -1,0 +1,61 @@
+"""Deterministic fault injection and the unified resilience policy.
+
+``repro.faults`` is the robustness layer of the repo: everything the
+execution stack does when work *fails* lives here, in four pieces --
+
+* :mod:`~repro.faults.plan` -- typed faults and the seeded, replayable
+  :class:`FaultPlan` (``bench --faults``, ``serve --faults``);
+* :mod:`~repro.faults.injector` -- :class:`FaultyBackend`, the decorator
+  that runs any executor backend under a plan without touching it;
+* :mod:`~repro.faults.policy` -- :class:`RetryPolicy` (typed retryability,
+  exponential backoff with deterministic jitter, retry budgets), used by
+  the backends, the engine, the campaign dispatcher and the daemon;
+* :mod:`~repro.faults.breaker` -- the service tier's
+  :class:`CircuitBreaker`;
+* :mod:`~repro.faults.stats` -- the process-wide fault/retry ledger behind
+  ``/metrics`` and the BENCH artifact extras.
+
+See ARCHITECTURE.md "Failure handling" for the full taxonomy and state
+machines.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
+from .injector import FAULT_OPTION_KEY, FaultyBackend
+from .plan import (
+    FAULT_KINDS,
+    KILL_EXIT_STATUS,
+    SUBMIT_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    TransientSolverError,
+    parse_faults,
+    trip,
+)
+from .policy import DEFAULT_RETRY_POLICY, RetryBudget, RetryPolicy, classify_fault
+from .stats import FaultStats, global_fault_stats
+
+__all__ = [
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "SUBMIT_FAULT_KINDS",
+    "KILL_EXIT_STATUS",
+    "FAULT_OPTION_KEY",
+    "TransientSolverError",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_faults",
+    "trip",
+    "FaultyBackend",
+    "classify_fault",
+    "RetryBudget",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_CODES",
+    "FaultStats",
+    "global_fault_stats",
+]

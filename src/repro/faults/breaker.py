@@ -1,0 +1,152 @@
+"""A circuit breaker for the solver service's engine tier.
+
+The daemon wraps every engine dispatch in :class:`CircuitBreaker`: after
+``failure_threshold`` *consecutive* infrastructure failures (worker pool
+broken, not solver-level errors -- a bad tree is the caller's problem, not
+the engine's) the breaker **opens** and the service rejects new work
+immediately with a typed 503 (:class:`~repro.service.errors.CircuitOpenError`)
+instead of queueing requests onto a dead engine.  After ``cooldown``
+seconds it moves to **half-open** and lets ``half_open_probes`` probe
+requests through: one success closes it, one failure re-opens it and
+restarts the cooldown.
+
+State is exported as a gauge (``closed=0``, ``open=1``, ``half_open=2``)
+and every transition increments a labelled counter, so ``/metrics``
+reflects the full history -- the acceptance criterion for this layer.
+
+The clock is injectable so tests can step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN", "STATE_CODES"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: gauge encoding of the states (stable; documented in ARCHITECTURE.md)
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open -> closed, driven by engine outcomes.
+
+    ``allow()`` answers whether a request may proceed *right now* (and, in
+    the open state, performs the cooldown-expiry transition to half-open);
+    ``record_success()`` / ``record_failure()`` feed the outcome of each
+    dispatched request back.  Only infrastructure failures should be fed
+    in -- the daemon calls ``record_success`` even when the *solver* errors,
+    because a solver exception proves the engine is alive.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._transitions: Dict[str, int] = {}
+        self._rejections = 0
+
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state`` (caller holds the lock)."""
+        key = f"{self._state}->{new_state}"
+        self._transitions[key] = self._transitions.get(key, 0) + 1
+        self._state = new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+        elif new_state == CLOSED:
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+        elif new_state == HALF_OPEN:
+            self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request proceed now?  ``False`` == reject with 503."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._transition(HALF_OPEN)
+                else:
+                    self._rejections += 1
+                    return False
+            # half-open: admit at most ``half_open_probes`` outstanding
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self._rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+            elif self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._transition(OPEN)
+            # failures while already open (in-flight work finishing late)
+            # keep it open; the cooldown clock is not restarted for them
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """The gauge encoding: closed=0, open=1, half_open=2."""
+        return STATE_CODES[self.state]
+
+    @property
+    def rejections(self) -> int:
+        with self._lock:
+            return self._rejections
+
+    def transition_items(self):
+        """``(("from->to"), count)`` pairs for the metrics exposition."""
+        with self._lock:
+            return sorted(self._transitions.items())
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "rejections": self._rejections,
+                "transitions": dict(sorted(self._transitions.items())),
+            }

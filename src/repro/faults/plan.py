@@ -1,0 +1,282 @@
+"""Typed faults and the deterministic, seeded :class:`FaultPlan`.
+
+A *fault* is one injected failure with a kind, a position and (for the
+delay kinds) a duration.  Positions index the campaign's **cell sequence**:
+the injector (:mod:`repro.faults.injector`) numbers every cell the first
+time it is submitted, in submission order -- which is deterministic,
+because the campaign planner and the service daemon both submit in a
+seeded, reproducible order -- and fires the fault whose ``at`` matches.
+Re-submissions of the same cell (straggler re-splits, retry attempts)
+do **not** advance the sequence and do **not** re-fire consumed faults,
+so a plan injects each fault exactly once no matter how the resilience
+machinery shuffles the work.
+
+Fault taxonomy (``FAULT_KINDS``):
+
+================ ====================== ==================================
+kind             fires                  models
+================ ====================== ==================================
+``worker_kill``  in the worker          a worker process dying mid-cell
+                 (``os._exit``)         (``BrokenProcessPool`` upstream);
+                                        degrades to ``transient`` on
+                                        in-process backends, which cannot
+                                        lose a worker without losing the
+                                        parent
+``straggler``    in the worker          a slow worker / straggling unit
+                 (``time.sleep``)       (exercises re-splitting)
+``timeout``      in the worker          a gather/result timeout: a long
+                 (``time.sleep``)       stall distinguishable from a mere
+                                        straggler only by magnitude
+``transient``    in the worker          a transient solver exception
+                 (raises               (:class:`TransientSolverError`,
+                 ``TransientSolverError``) retryable)
+``pickling``     at the submit call     an unpicklable payload
+                                        (``pickle.PicklingError``, not
+                                        retryable -- deterministic)
+``shm``          at the submit call     shared memory / the platform going
+                                        away (``ExecutorUnavailable`` ->
+                                        the engine's warn-once serial
+                                        fallback)
+``broken_pool``  on the returned        the executor reporting a broken
+                 future                 pool without a real crash (used to
+                                        drive the service circuit breaker)
+================ ====================== ==================================
+
+Plans serialize to a compact spec string (``"kill@3,straggler@5:0.2"``)
+accepted by ``bench --faults`` and ``serve --faults``; see
+:func:`parse_faults`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "SUBMIT_FAULT_KINDS",
+    "TransientSolverError",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_faults",
+    "trip",
+]
+
+#: worker-side kinds execute inside the solver dispatch (any backend);
+#: submit-side kinds fire in the wrapping backend before delegation
+WORKER_FAULT_KINDS = ("worker_kill", "straggler", "timeout", "transient")
+SUBMIT_FAULT_KINDS = ("pickling", "shm", "broken_pool")
+FAULT_KINDS = WORKER_FAULT_KINDS + SUBMIT_FAULT_KINDS
+
+#: spec-string aliases (``kill@3`` reads better than ``worker_kill@3``)
+_KIND_ALIASES = {"kill": "worker_kill"}
+
+#: default sleep of the delay kinds (seconds) when the spec names none
+_DEFAULT_DELAYS = {"straggler": 0.05, "timeout": 1.0}
+
+#: exit status of a killed worker -- distinctive, so a genuine crash in a
+#: chaos run is not mistaken for the injected one
+KILL_EXIT_STATUS = 23
+
+
+class TransientSolverError(RuntimeError):
+    """An injected transient solver failure (retryable by policy).
+
+    Module-level and argument-transparent so it pickles across the process
+    boundary: a worker raises it, the parent's retry policy classifies it
+    as ``transient`` and re-runs the work unit.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: ``kind`` fires at cell sequence number ``at``."""
+
+    kind: str
+    at: int
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault position must be >= 0, not {self.at}")
+        if self.delay < 0:
+            raise ValueError(f"fault delay must be >= 0, not {self.delay}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-safe form shipped to workers inside cell options."""
+        return {"kind": self.kind, "at": self.at, "delay": self.delay}
+
+    def describe(self) -> str:
+        delay = f":{self.delay:g}" if self.delay else ""
+        return f"{self.kind}@{self.at}{delay}"
+
+
+class FaultPlan:
+    """An immutable, ordered schedule of faults keyed by cell position.
+
+    Two plans built from the same specs (or the same seed and counts, via
+    :meth:`seeded`) are identical -- determinism is the whole point: a
+    chaos campaign must be replayable bit-for-bit.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        ordered = sorted(specs, key=lambda s: (s.at, s.kind))
+        by_at: Dict[int, List[FaultSpec]] = {}
+        for spec in ordered:
+            by_at.setdefault(spec.at, []).append(spec)
+        self._specs: Tuple[FaultSpec, ...] = tuple(ordered)
+        self._by_at = by_at
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_cells: int,
+        *,
+        worker_kill: int = 0,
+        straggler: int = 0,
+        timeout: int = 0,
+        transient: int = 0,
+        pickling: int = 0,
+        shm: int = 0,
+        broken_pool: int = 0,
+        straggler_delay: float = 0.05,
+        timeout_delay: float = 1.0,
+    ) -> "FaultPlan":
+        """Draw fault positions uniformly (without replacement) from a seed.
+
+        ``n_cells`` is the size of the position space; asking for more
+        faults than cells raises.  The same ``(seed, n_cells, counts)``
+        always yields the same plan.
+        """
+        counts = {
+            "worker_kill": worker_kill,
+            "straggler": straggler,
+            "timeout": timeout,
+            "transient": transient,
+            "pickling": pickling,
+            "shm": shm,
+            "broken_pool": broken_pool,
+        }
+        total = sum(counts.values())
+        if total > n_cells:
+            raise ValueError(
+                f"cannot place {total} faults in {n_cells} cells"
+            )
+        rng = random.Random(seed)
+        positions = rng.sample(range(n_cells), total)
+        delays = {"straggler": straggler_delay, "timeout": timeout_delay}
+        specs: List[FaultSpec] = []
+        i = 0
+        for kind, count in counts.items():
+            for _ in range(count):
+                specs.append(
+                    FaultSpec(kind, positions[i], delays.get(kind, 0.0))
+                )
+                i += 1
+        return cls(specs)
+
+    # ------------------------------------------------------------------
+    @property
+    def specs(self) -> Tuple[FaultSpec, ...]:
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __bool__(self) -> bool:
+        return bool(self._specs)
+
+    def at(self, position: int) -> List[FaultSpec]:
+        """Every fault scheduled at cell ``position`` (usually 0 or 1)."""
+        return list(self._by_at.get(position, ()))
+
+    def counts(self) -> Dict[str, int]:
+        """Planned injections by kind (the ledger chaos tests assert on)."""
+        out: Dict[str, int] = {}
+        for spec in self._specs:
+            out[spec.kind] = out.get(spec.kind, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        """The spec-string form (round-trips through :func:`parse_faults`)."""
+        return ",".join(spec.describe() for spec in self._specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.describe()!r})"
+
+
+def parse_faults(text: str) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a :class:`FaultPlan`.
+
+    Grammar: comma-separated ``kind@position[:delay]`` entries, e.g.
+    ``"kill@3,straggler@5:0.2,transient@9"``.  ``kill`` is an alias for
+    ``worker_kill``; delays (seconds) apply to the sleep kinds and default
+    to 0.05 (``straggler``) / 1.0 (``timeout``).
+    """
+    specs: List[FaultSpec] = []
+    for raw in text.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if "@" not in entry:
+            raise ValueError(
+                f"bad fault entry {entry!r}: expected kind@position[:delay]"
+            )
+        kind_part, _, pos_part = entry.partition("@")
+        kind = _KIND_ALIASES.get(kind_part.strip(), kind_part.strip())
+        delay: Optional[float] = None
+        if ":" in pos_part:
+            pos_part, _, delay_part = pos_part.partition(":")
+            try:
+                delay = float(delay_part)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault delay in {entry!r}: {delay_part!r}"
+                ) from None
+        try:
+            position = int(pos_part)
+        except ValueError:
+            raise ValueError(
+                f"bad fault position in {entry!r}: {pos_part!r}"
+            ) from None
+        if delay is None:
+            delay = _DEFAULT_DELAYS.get(kind, 0.0)
+        specs.append(FaultSpec(kind, position, delay))
+    if not specs:
+        raise ValueError(f"fault spec {text!r} names no faults")
+    return FaultPlan(specs)
+
+
+def trip(fault: Dict[str, object]) -> None:
+    """Execute one worker-side fault (called from the solver dispatch).
+
+    ``fault`` is the :meth:`FaultSpec.to_dict` form carried in the cell's
+    options under the reserved ``_fault`` key.  Runs *before* the solver's
+    wall-time stamp starts, so injected sleeps never pollute the timing
+    columns of a chaos campaign.
+    """
+    kind = fault.get("kind")
+    if kind == "worker_kill":
+        import os
+
+        # not sys.exit: the point is an abrupt death the executor can only
+        # observe as a broken pool, exactly like a segfault or OOM kill
+        os._exit(KILL_EXIT_STATUS)
+    elif kind in ("straggler", "timeout"):
+        import time
+
+        time.sleep(float(fault.get("delay", 0.0)))
+    elif kind == "transient":
+        raise TransientSolverError(
+            f"injected transient fault at cell {fault.get('at')}"
+        )
+    else:  # pragma: no cover - the injector only ships worker kinds
+        raise ValueError(f"cannot trip fault kind {kind!r} in a worker")

@@ -1,0 +1,176 @@
+"""The unified :class:`RetryPolicy`: typed, budgeted, deterministic.
+
+Before this module every execution layer had its own bespoke retry: a
+one-shot grow-retry in the persistent backend, a single broken-pool reset
+in the engine, an unconditional in-process redo in the campaign
+dispatcher.  They are all now instances of one policy object that answers
+three questions:
+
+* **is this failure retryable?** -- by *fault class*
+  (:func:`classify_fault`): worker crashes (``broken_pool``), injected or
+  genuine transient solver errors (``transient``), timeouts and pool-grow
+  races retry; pickling failures and platform unavailability do not
+  (re-running cannot fix a deterministic failure);
+* **how many times?** -- ``max_attempts`` per operation plus an optional
+  policy-wide retry *budget* (:class:`RetryBudget`) so a pathological
+  campaign cannot retry forever;
+* **how long to wait?** -- exponential backoff with **deterministic
+  jitter**: the jitter fraction is a CRC32 hash of ``(key, attempt)``, so
+  two runs of the same campaign sleep identically and chaos runs stay
+  replayable (``random``-based jitter would not be).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .plan import TransientSolverError
+
+__all__ = [
+    "classify_fault",
+    "RetryBudget",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+]
+
+
+def classify_fault(exc: BaseException) -> str:
+    """Map an exception to its fault class (the retryability key).
+
+    ================= ==================================================
+    class             raised by
+    ================= ==================================================
+    ``broken_pool``   ``concurrent.futures`` when a worker process died
+    ``pickling``      unpicklable payloads (deterministic, never retried)
+    ``unavailable``   :class:`~repro.solvers.engine.backends.ExecutorUnavailable`
+                      -- the platform cannot run the backend at all
+    ``transient``     :class:`~repro.faults.plan.TransientSolverError`
+    ``timeout``       gather/result timeouts (stdlib + asyncio)
+    ``solver``        anything else: the solver's own exception
+    ================= ==================================================
+    """
+    from concurrent.futures import TimeoutError as FuturesTimeout
+    from concurrent.futures.process import BrokenProcessPool
+    from pickle import PicklingError
+
+    if isinstance(exc, BrokenProcessPool):
+        return "broken_pool"
+    if isinstance(exc, PicklingError):
+        return "pickling"
+    if isinstance(exc, TransientSolverError):
+        return "transient"
+    if isinstance(exc, (FuturesTimeout, TimeoutError)):
+        return "timeout"
+    # imported lazily to keep this module free of engine dependencies
+    from ..solvers.engine.backends.base import ExecutorUnavailable
+
+    if isinstance(exc, ExecutorUnavailable):
+        return "unavailable"
+    return "solver"
+
+
+class RetryBudget:
+    """A thread-safe pool of retries shared across one policy's users.
+
+    ``take()`` atomically consumes one retry and reports whether any was
+    left; an exhausted budget makes every subsequent ``should_retry``
+    answer ``False``, bounding the total retry work of a whole campaign
+    (not just one operation).
+    """
+
+    def __init__(self, limit: Optional[int]) -> None:
+        self.limit = limit
+        self.spent = 0
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        with self._lock:
+            if self.limit is not None and self.spent >= self.limit:
+                return False
+            self.spent += 1
+            return True
+
+    @property
+    def exhausted(self) -> bool:
+        with self._lock:
+            return self.limit is not None and self.spent >= self.limit
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Typed retry policy: attempts, backoff, budget, retryable classes.
+
+    ``max_attempts`` counts *tries*, not retries: the default 3 means one
+    initial attempt plus up to two retries.  ``budget`` bounds retries
+    policy-wide (``None`` = unbounded); call :meth:`new_budget` once per
+    campaign/engine and pass the same object to every ``should_retry``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    budget: Optional[int] = None
+    retryable: Tuple[str, ...] = field(
+        default=("broken_pool", "transient", "timeout", "pool_grow")
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def new_budget(self) -> RetryBudget:
+        """A fresh budget pool for one campaign/engine lifetime."""
+        return RetryBudget(self.budget)
+
+    def is_retryable(self, fault: str) -> bool:
+        return fault in self.retryable
+
+    def should_retry(
+        self, fault: str, attempt: int, budget: Optional[RetryBudget] = None
+    ) -> bool:
+        """Whether to retry after ``attempt`` failed tries on ``fault``.
+
+        Consumes one unit of ``budget`` when it answers ``True`` -- callers
+        must therefore retry when told to, or the budget leaks.
+        """
+        if attempt >= self.max_attempts:
+            return False
+        if fault not in self.retryable:
+            return False
+        if budget is not None and not budget.take():
+            return False
+        return True
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), in seconds.
+
+        Exponential (``base * multiplier**(attempt-1)``, clamped to
+        ``max_delay``) with deterministic jitter: the jitter fraction is
+        derived from ``crc32(f"{key}:{attempt}")``, so identical campaigns
+        sleep identically -- chaos runs must be bit-replayable, which rules
+        out ``random`` here.  The jittered delay spans
+        ``[1 - jitter/2, 1 + jitter/2]`` times the nominal value.
+        """
+        nominal = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if not self.jitter or not nominal:
+            return nominal
+        frac = zlib.crc32(f"{key}:{attempt}".encode()) / 0xFFFFFFFF
+        return nominal * (1 - self.jitter / 2 + self.jitter * frac)
+
+
+#: the policy every layer uses unless a caller injects its own
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -1,0 +1,83 @@
+"""Process-wide fault/retry/checkpoint counters.
+
+One small, thread-safe ledger shared by every resilience layer:
+
+* ``record_retry(layer, fault)`` -- every retry attempt, labelled by the
+  layer that retried (``backend`` = pool-grow races, ``engine`` =
+  ``run_batch`` broken-pool re-maps, ``bench`` = campaign work-unit
+  resubmissions, ``service`` = daemon broken-pool re-runs);
+* ``record_injection(kind)`` -- every fault the injector actually fired;
+* ``record_checkpoint_cells(n)`` -- every cell journaled by the campaign
+  checkpoint.
+
+The service daemon renders this ledger into the Prometheus exposition
+(``repro_retry_attempts_total{layer,fault}``,
+``repro_fault_injections_total{kind}``, ``repro_checkpoint_cells_total``);
+the bench runner snapshots deltas into run-level artifact ``extras``.
+Campaign-scoped exactness (the chaos acceptance check "counters match the
+injected plan") additionally keeps local counters on the injector and the
+dispatcher, so a noisy neighbour in the same process cannot blur a test.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+__all__ = ["FaultStats", "global_fault_stats"]
+
+
+class FaultStats:
+    """Thread-safe counters; see the module docstring for who writes what."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._retries: Dict[Tuple[str, str], int] = {}
+        self._injected: Dict[str, int] = {}
+        self._checkpoint_cells = 0
+
+    # ------------------------------------------------------------------
+    def record_retry(self, layer: str, fault: str, n: int = 1) -> None:
+        with self._lock:
+            key = (layer, fault)
+            self._retries[key] = self._retries.get(key, 0) + n
+
+    def record_injection(self, kind: str, n: int = 1) -> None:
+        with self._lock:
+            self._injected[kind] = self._injected.get(kind, 0) + n
+
+    def record_checkpoint_cells(self, n: int) -> None:
+        with self._lock:
+            self._checkpoint_cells += n
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe copy: retries keyed ``"layer/fault"``."""
+        with self._lock:
+            return {
+                "retries": {
+                    f"{layer}/{fault}": n
+                    for (layer, fault), n in sorted(self._retries.items())
+                },
+                "injected": dict(sorted(self._injected.items())),
+                "checkpoint_cells": self._checkpoint_cells,
+            }
+
+    def retry_items(self):
+        """``((layer, fault), count)`` pairs for the metrics exposition."""
+        with self._lock:
+            return sorted(self._retries.items())
+
+    def injection_items(self):
+        with self._lock:
+            return sorted(self._injected.items())
+
+    @property
+    def checkpoint_cells(self) -> int:
+        with self._lock:
+            return self._checkpoint_cells
+
+
+#: the process-wide ledger (tests may read it; nothing ever resets it,
+#: exactly like a Prometheus counter)
+global_fault_stats = FaultStats()

@@ -44,6 +44,7 @@ The open-loop traffic benchmarks over this daemon live in
 from .daemon import SERVICE_POOL_MODES, ServiceStats, SolverService
 from .errors import (
     BadRequestError,
+    CircuitOpenError,
     DeadlineError,
     QueueFullError,
     ServiceClosedError,
@@ -71,6 +72,7 @@ __all__ = [
     "BadRequestError",
     "UnknownTreeTokenError",
     "QueueFullError",
+    "CircuitOpenError",
     "DeadlineError",
     "ServiceClosedError",
     "SolverFailedError",

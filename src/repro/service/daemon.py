@@ -45,8 +45,10 @@ import asyncio
 import logging
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from ..faults import CircuitBreaker
+from ..faults.stats import global_fault_stats
 from ..obs import (
     Histogram,
     MetricsRegistry,
@@ -58,6 +60,7 @@ from ..obs import (
 from ..solvers.engine.backends import backend_names
 from ..solvers.facade import _solve_task
 from .errors import (
+    CircuitOpenError,
     DeadlineError,
     QueueFullError,
     ServiceClosedError,
@@ -204,6 +207,18 @@ class SolverService:
         Options merged under every request's own (e.g. ``engine="kernel"``).
     interner_capacity:
         LRU size of the tree interner.
+    breaker_threshold / breaker_cooldown:
+        Circuit-breaker tuning: consecutive engine infrastructure failures
+        that open the circuit, and seconds before a half-open probe is let
+        through.  ``breaker`` injects a pre-built
+        :class:`~repro.faults.CircuitBreaker` instead (tests use a stepped
+        clock).  While open, submissions are refused synchronously with the
+        typed 503 :class:`~repro.service.errors.CircuitOpenError`.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; when given, the engine
+        backend is wrapped in a
+        :class:`~repro.faults.FaultyBackend` so the daemon runs under
+        deterministic chaos (the service smoke drives the breaker this way).
     """
 
     def __init__(
@@ -217,6 +232,10 @@ class SolverService:
         solver_options: Optional[Dict[str, Any]] = None,
         interner_capacity: int = 512,
         use_shared_memory: Optional[bool] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if pool not in (None, *SERVICE_POOL_MODES):
             raise ValueError(
@@ -242,6 +261,10 @@ class SolverService:
         self.solver_options = dict(solver_options or {})
         self.interner = TreeInterner(capacity=interner_capacity)
         self.stats = ServiceStats()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        self._fault_plan = fault_plan
         self._use_shared_memory = use_shared_memory
         self._engine = None
         self._thread_pool = None
@@ -250,6 +273,9 @@ class SolverService:
         self._idle: "asyncio.Event" = None
         self._dispatcher: "asyncio.Task" = None
         self._tasks: set = set()
+        #: every admitted-but-unresponded request, queued *or* executing --
+        #: the abort-close flush and the watchdog-leak seam iterate this
+        self._pendings: set = set()
         self._pending_count = 0
         self._started = False
         self._accepting = False
@@ -273,12 +299,23 @@ class SolverService:
 
             # the arena toggle only exists on the persistent backend; other
             # backends take no construction options from the service
-            if self.pool_mode == "persistent":
+            backend_options: Dict[str, Any] = {}
+            if self.pool_mode == "persistent" and self._use_shared_memory is not None:
+                backend_options["use_shared_memory"] = self._use_shared_memory
+            if self._fault_plan is not None:
+                from ..faults import FaultyBackend
+                from ..solvers.engine.backends import create_backend
+
                 self._engine = SolveEngine(
-                    use_shared_memory=self._use_shared_memory
+                    backend=FaultyBackend(
+                        create_backend(self.pool_mode, **backend_options),
+                        self._fault_plan,
+                    )
                 )
             else:
-                self._engine = SolveEngine(backend=self.pool_mode)
+                self._engine = SolveEngine(
+                    backend=self.pool_mode, **backend_options
+                )
         self._dispatcher = loop.create_task(self._dispatch_loop())
         self._started = True
         self._accepting = True
@@ -331,12 +368,23 @@ class SolverService:
         except asyncio.TimeoutError:
             self._dispatcher.cancel()
         if self._tasks:
-            done, stragglers = await asyncio.wait(set(self._tasks), timeout=timeout)
+            tasks = set(self._tasks)
+            if not drain:
+                # abort: executing solves are cut loose *now*, not awaited --
+                # their pendings settle in the flush below
+                for task in tasks:
+                    task.cancel()
+            done, stragglers = await asyncio.wait(tasks, timeout=timeout)
             for task in stragglers:
                 task.cancel()
-        # whatever is still unresponded (abort path, timeout) gets a typed
-        # closed response -- callers never hang on a closing service
-        for pending in list(self._by_future_pendings()):
+        # whatever is still unresponded -- queued on the abort path, torn out
+        # of an executing task, or past the drain timeout -- gets a typed
+        # closed response; _finish also cancels its watchdog timer, so an
+        # abort-close leaves no armed deadline timers behind (live_timers==0)
+        for pending in list(self._pendings):
+            if pending.done():
+                self._pendings.discard(pending)
+                continue
             self._finish(
                 pending,
                 error_response(
@@ -357,15 +405,15 @@ class SolverService:
             rejected=self.stats.rejected, drained=self.stats.drained,
         )
 
-    def _by_future_pendings(self) -> List[_Pending]:
-        # pendings are reachable through the queue (never dispatched) only;
-        # executing ones respond through their task, which has settled by now
-        out = []
-        while self._queue is not None and not self._queue.empty():
-            item = self._queue.get_nowait()
-            if item is not _SENTINEL and not item.done():
-                out.append(item)
-        return out
+    @property
+    def live_timers(self) -> int:
+        """Armed watchdog timers over unresponded requests.
+
+        The regression seam of the close-path timer leak: after ``close()``
+        -- graceful or abort -- this must be 0, or cancelled deadline timers
+        would keep firing into a dead service.
+        """
+        return sum(1 for p in list(self._pendings) if p.timer is not None)
 
     # ------------------------------------------------------------------
     # submission
@@ -377,12 +425,26 @@ class SolverService:
         ------
         ServiceClosedError
             When the service is not started, closing or closed.
+        CircuitOpenError
+            When the engine circuit breaker is open -- the engine tier is
+            failing, and admitting more work would only queue it onto a
+            dead pool.
         QueueFullError
             When admission control finds ``max_pending`` requests alive --
             the request is *not* enqueued.
         """
         if not self._started or not self._accepting:
             raise ServiceClosedError("service is not accepting requests")
+        if not self.breaker.allow():
+            log_event(
+                _log, "circuit_open", level=logging.WARNING,
+                id=request.id, breaker=self.breaker.state,
+            )
+            raise CircuitOpenError(
+                "engine circuit breaker is "
+                f"{self.breaker.state}; back off for at least "
+                f"{self.breaker.cooldown:g}s"
+            )
         if self._pending_count >= self.max_pending:
             self.stats.rejected += 1
             log_event(
@@ -402,6 +464,7 @@ class SolverService:
             request.trace = SpanTimeline(origin=request.accepted_at)
         request.trace.begin("queued", at=request.accepted_at)
         pending = _Pending(request, loop.create_future())
+        self._pendings.add(pending)
         self._pending_count += 1
         self._idle.clear()
         self.stats.accepted += 1
@@ -500,7 +563,7 @@ class SolverService:
                 {**self.solver_options, **request.options},
             )
             try:
-                report = await self._run_cell(cell, pending)
+                report, tier = await self._run_cell(cell, pending)
             except asyncio.CancelledError:
                 # the watchdog cancelled a not-yet-started engine future (or
                 # an aborting close tore the pool down); the response -- a
@@ -523,6 +586,11 @@ class SolverService:
             if request.trace is not None:
                 request.trace.close_open(at=end)  # settles the solve span
                 request.trace.begin("report", at=end)
+            # the degradation ladder: which tier actually answered, and
+            # whether it sits below the engine tier the service was built on
+            extras: Dict[str, Any] = {"tier": tier}
+            if self._engine is not None and tier != self._engine.backend_name:
+                extras["degraded"] = True
             self._finish(
                 pending,
                 ServiceResponse(
@@ -535,13 +603,23 @@ class SolverService:
                     queue_seconds=pending.dispatched_at - request.accepted_at,
                     solve_seconds=end - pending.dispatched_at,
                     total_seconds=end - request.accepted_at,
+                    extras=extras,
                 ),
             )
         finally:
             self._inflight.release()
 
     async def _run_cell(self, cell: Tuple, pending: _Pending):
-        """Run one cell on the engine (future seam) or the thread fallback."""
+        """Run one cell and name the tier that answered it.
+
+        Returns ``(report, tier)`` where ``tier`` walks the degradation
+        ladder: the engine backend's name when the engine answered,
+        ``"threads"`` when a broken pool pushed the request onto the
+        in-process thread fallback, ``"serial"`` when the service has no
+        engine at all (``pool="serial"``).  Engine outcomes feed the circuit
+        breaker: a pool crash is a failure, anything else -- including a
+        solver-level exception, which proves the engine alive -- a success.
+        """
         trace = pending.request.trace
         if self._engine is not None:
             from ..solvers.engine import EngineStoppedError
@@ -558,16 +636,27 @@ class SolverService:
                 from concurrent.futures.process import BrokenProcessPool
 
                 try:
-                    return await self._await_engine_future(exec_future)
+                    report = await self._await_engine_future(exec_future)
                 except BrokenProcessPool:
-                    # a worker crashed mid-request: heal the backend and
-                    # give this request its answer in-process
+                    # a worker crashed mid-request: feed the breaker, heal
+                    # the backend, and give this request its answer
+                    # in-process -- one rung down the ladder
+                    self.breaker.record_failure()
+                    global_fault_stats.record_retry("service", "broken_pool")
                     log_event(
                         _log, "pool_broken", level=logging.WARNING,
-                        id=pending.request.id,
+                        id=pending.request.id, breaker=self.breaker.state,
                     )
                     self._engine.reset()
                     pending.exec_future = None
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    self.breaker.record_success()
+                    raise
+                else:
+                    self.breaker.record_success()
+                    return report, self._engine.backend_name
         loop = asyncio.get_running_loop()
         if trace is not None:
             # thread fallback: the dispatch span (if still open) ends here;
@@ -575,7 +664,8 @@ class SolverService:
             # solve stretch simply extends the summed solve duration
             trace.end_if_open("dispatch")
             trace.begin("solve")
-        return await loop.run_in_executor(self._threads(), _solve_task, cell)
+        report = await loop.run_in_executor(self._threads(), _solve_task, cell)
+        return report, ("threads" if self._engine is not None else "serial")
 
     @staticmethod
     async def _await_engine_future(exec_future):
@@ -666,6 +756,7 @@ class SolverService:
         if pending.timer is not None:
             pending.timer.cancel()
             pending.timer = None
+        self._pendings.discard(pending)
         trace = pending.request.trace
         if trace is not None:
             # whatever stage the request died in is still open on the error
@@ -717,6 +808,7 @@ class SolverService:
             interner_misses=self.interner.misses,
             accepting=self._accepting,
         )
+        doc["breaker"] = self.breaker.snapshot()
         if self._engine is not None:
             doc["engine"] = self._engine.snapshot()
         return doc
@@ -832,6 +924,11 @@ class SolverService:
                 "Worker-pool crashes healed by a pool reset.",
                 labels=backend, value=engine["broken_pools"],
             )
+            reg.counter(
+                "repro_engine_retries_total",
+                "Engine batch retries after retryable faults.",
+                labels=backend, value=engine["retries"],
+            )
             # backend sub-documents are capability-dependent: process and
             # thread backends expose a pool, only the process engine an arena
             pool = engine.get("pool")
@@ -876,6 +973,39 @@ class SolverService:
                     "Live shared-memory segments.",
                     labels=backend, value=arena["live_segments"],
                 )
+        reg.gauge(
+            "repro_circuit_state",
+            "Engine circuit breaker state (closed=0, open=1, half_open=2).",
+            value=self.breaker.state_code,
+        )
+        for transition, value in self.breaker.transition_items():
+            reg.counter(
+                "repro_circuit_transitions_total",
+                "Circuit breaker state transitions.",
+                labels={"transition": transition}, value=value,
+            )
+        reg.counter(
+            "repro_circuit_rejections_total",
+            "Requests refused while the circuit was open or half-open.",
+            value=self.breaker.rejections,
+        )
+        for (layer, fault), value in global_fault_stats.retry_items():
+            reg.counter(
+                "repro_retry_attempts_total",
+                "Retry attempts by resilience layer and fault class.",
+                labels={"layer": layer, "fault": fault}, value=value,
+            )
+        for kind, value in global_fault_stats.injection_items():
+            reg.counter(
+                "repro_fault_injections_total",
+                "Faults fired by the chaos injector, by kind.",
+                labels={"kind": kind}, value=value,
+            )
+        reg.counter(
+            "repro_checkpoint_cells_total",
+            "Campaign cells journaled to checkpoint sidecars.",
+            value=global_fault_stats.checkpoint_cells,
+        )
         return reg
 
     def render_metrics(self) -> str:

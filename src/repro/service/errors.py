@@ -19,6 +19,7 @@ __all__ = [
     "BadRequestError",
     "UnknownTreeTokenError",
     "QueueFullError",
+    "CircuitOpenError",
     "DeadlineError",
     "ServiceClosedError",
     "SolverFailedError",
@@ -73,6 +74,20 @@ class QueueFullError(ServiceError):
 
     code = "rejected"
     http_status = 429
+
+
+class CircuitOpenError(ServiceError):
+    """The engine circuit breaker is open: the request is refused at once.
+
+    Raised synchronously at submission after ``failure_threshold``
+    consecutive engine infrastructure failures
+    (:class:`~repro.faults.CircuitBreaker`).  A 503, not a 429: the queue
+    may be empty -- the *engine* is the problem, and callers should back off
+    for at least the breaker's cooldown rather than retry immediately.
+    """
+
+    code = "circuit_open"
+    http_status = 503
 
 
 class DeadlineError(ServiceError):
@@ -135,6 +150,7 @@ _BY_CODE = {
         BadRequestError,
         UnknownTreeTokenError,
         QueueFullError,
+        CircuitOpenError,
         ServiceClosedError,
         SolverFailedError,
     )

@@ -314,6 +314,12 @@ class ServiceResponse:
     durations (``parse``/``intern``/``queued``/``dispatch``/``solve``/
     ``report``) of the request's :class:`~repro.obs.SpanTimeline`, surfaced
     under ``timing.stages`` on the wire.
+
+    ``extras`` carries execution metadata that is not part of the solver's
+    answer -- today the degradation ladder: ``tier`` names where the solve
+    actually ran (the engine backend, the service thread pool, or inline)
+    and ``degraded`` flags requests that fell below the configured tier.
+    Serialized as the top-level ``extras`` object when non-empty.
     """
 
     request_id: str
@@ -327,6 +333,7 @@ class ServiceResponse:
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
     stages: Optional[Dict[str, float]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -370,6 +377,8 @@ class ServiceResponse:
                 doc["report"] = report_to_dict(self.report)
         if self.error is not None:
             doc["error"] = self.error.to_dict()
+        if self.extras:
+            doc["extras"] = dict(self.extras)
         return doc
 
 

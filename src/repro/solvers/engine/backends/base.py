@@ -96,6 +96,54 @@ def _solve_chunk(cells: Sequence[Cell]) -> List[Any]:
     return [_solve_task(cell) for cell in cells]
 
 
+def _call_with_pool_retry(pool, executor, call, *, policy=None, key: str = ""):
+    """Run ``call(executor)``, healing pool-grow races by retry policy.
+
+    The shared execution wrapper of the pooled backends (persistent,
+    threads).  Two failure shapes are handled:
+
+    * **grow race** -- a concurrent caller grew the pool between the
+      backend's ``ensure()`` and this call, so the drained old executor
+      rejects new futures ("cannot schedule new futures after shutdown").
+      Retried on the replacement executor as many times as the
+      :class:`~repro.faults.policy.RetryPolicy` allows (fault class
+      ``pool_grow``; no backoff -- the replacement is already live, there
+      is nothing to wait for).  A ``RuntimeError`` with the pool unchanged
+      is a genuine solver error and re-raises immediately.
+    * **broken pool** -- the executor lost a worker.  The broken executor
+      is retired via the identity-guarded
+      :meth:`~repro.solvers.engine.pool.PersistentPool.invalidate` (so
+      concurrent observers of the same crash trigger exactly one reset)
+      and the error propagates for the engine-level policy to retry or
+      degrade.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    # lazy: repro.faults wraps these backends, so module-level imports in
+    # either direction would cycle
+    from ....faults.policy import DEFAULT_RETRY_POLICY
+    from ....faults.stats import global_fault_stats
+
+    policy = policy or DEFAULT_RETRY_POLICY
+    attempt = 0
+    current = executor
+    while True:
+        attempt += 1
+        try:
+            return call(current)
+        except BrokenProcessPool:
+            pool.invalidate(current)
+            raise
+        except RuntimeError:
+            replacement = pool.executor
+            if replacement is None or replacement is current:
+                raise
+            if not policy.should_retry("pool_grow", attempt):
+                raise
+            global_fault_stats.record_retry("backend", "pool_grow")
+            current = replacement
+
+
 class ExecutorBackend:
     """Base class of the executor backends (see the module docstring).
 

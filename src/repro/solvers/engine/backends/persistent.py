@@ -18,7 +18,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..arena import TreeArena, TreeRef, resolve
 from ..pool import PersistentPool
-from .base import Cell, ExecutorBackend, ExecutorUnavailable
+from .base import (
+    Cell,
+    ExecutorBackend,
+    ExecutorUnavailable,
+    _call_with_pool_retry,
+)
 
 __all__ = [
     "PersistentBackend",
@@ -92,19 +97,9 @@ class PersistentBackend(ExecutorBackend):
         return payloads
 
     def _retry_on_grow(self, executor, call):
-        try:
-            return call(executor)
-        except RuntimeError:
-            # a concurrent caller may have grown the pool between our
-            # ensure() and the call: the drained old executor then rejects
-            # new futures ("cannot schedule new futures after shutdown").
-            # Retry once on the replacement; genuine solver RuntimeErrors
-            # re-raise because the pool is unchanged.
-            with self._lock:
-                current = self.pool.executor
-            if current is None or current is executor:
-                raise
-            return call(current)
+        # grow races retry by policy, broken pools are invalidated exactly
+        # once; see _call_with_pool_retry
+        return _call_with_pool_retry(self.pool, executor, call)
 
     # ------------------------------------------------------------------
     def scatter(self, trees: Sequence[Any]) -> None:

@@ -25,6 +25,7 @@ from .base import (
     Cell,
     ExecutorBackend,
     ExecutorUnavailable,
+    _call_with_pool_retry,
     _solve_cell,
     _solve_chunk,
 )
@@ -50,16 +51,8 @@ class ThreadsBackend(ExecutorBackend):
         return executor
 
     def _retry_on_grow(self, executor, call):
-        try:
-            return call(executor)
-        except RuntimeError:
-            # a concurrent caller grew the pool between ensure() and the
-            # call; retry once on the replacement (see PersistentBackend)
-            with self._lock:
-                current = self.pool.executor
-            if current is None or current is executor:
-                raise
-            return call(current)
+        # grow races retry by policy (see _call_with_pool_retry in base)
+        return _call_with_pool_retry(self.pool, executor, call)
 
     # ------------------------------------------------------------------
     def map_cells(self, cells: Sequence[Cell], workers: int) -> List[Any]:

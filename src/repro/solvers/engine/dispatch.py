@@ -71,6 +71,7 @@ class SolveEngine:
         *,
         backend: Any = "persistent",
         use_shared_memory: Optional[bool] = None,
+        retry_policy: Any = None,
         **backend_options: Any,
     ) -> None:
         if use_shared_memory is not None:
@@ -79,6 +80,12 @@ class SolveEngine:
             self.backend = backend
         else:
             self.backend = create_backend(backend or "persistent", **backend_options)
+        if retry_policy is None:
+            from ...faults.policy import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
+        self._retry_budget = retry_policy.new_budget()
         self._lock = threading.Lock()
         self._warned_unavailable = False
         self._stopping = threading.Event()
@@ -89,6 +96,7 @@ class SolveEngine:
         self.submits = 0
         self.serial_fallbacks = 0
         self.broken_pools = 0
+        self.retries = 0
 
     @property
     def backend_name(self) -> str:
@@ -172,36 +180,65 @@ class SolveEngine:
         with self._lock:
             self.batches += 1
             self.cells += len(cells)
-        from concurrent.futures.process import BrokenProcessPool
+            batch_no = self.batches
+        import time
+
         from pickle import PicklingError
 
-        try:
-            return self.backend.map_cells(list(cells), workers)
-        except ExecutorUnavailable as exc:
-            self._warn_unavailable(exc, "batches run serially")
-            return None
-        except BrokenProcessPool as exc:
-            warnings.warn(
-                f"solve engine: worker pool broke ({exc}); restarting the pool "
-                "and falling back to serial execution for this batch",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            with self._lock:
-                self.broken_pools += 1
-                self.serial_fallbacks += 1
-            self.backend.reset()
-            return None
-        except PicklingError as exc:
-            warnings.warn(
-                f"solve engine: payload not picklable ({exc}); falling back to "
-                "serial execution for this batch",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            with self._lock:
-                self.serial_fallbacks += 1
-            return None
+        from ...faults.policy import classify_fault
+        from ...faults.stats import global_fault_stats
+
+        # typed retry loop: retryable fault classes (broken_pool, transient,
+        # timeout) re-map the whole batch -- map_cells is all-or-nothing, so
+        # a retry discards nothing -- with deterministic backoff, until the
+        # policy's attempts/budget run out; then broken pools degrade to
+        # serial and solver exceptions propagate unchanged
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.backend.map_cells(list(cells), workers)
+            except ExecutorUnavailable as exc:
+                self._warn_unavailable(exc, "batches run serially")
+                return None
+            except PicklingError as exc:
+                warnings.warn(
+                    f"solve engine: payload not picklable ({exc}); falling "
+                    "back to serial execution for this batch",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                with self._lock:
+                    self.serial_fallbacks += 1
+                return None
+            except Exception as exc:
+                fault = classify_fault(exc)
+                if fault == "broken_pool":
+                    with self._lock:
+                        self.broken_pools += 1
+                    # the backend already invalidated the broken executor;
+                    # reset() is an idempotent safety net for backends that
+                    # did not
+                    self.backend.reset()
+                if policy.should_retry(fault, attempt, self._retry_budget):
+                    with self._lock:
+                        self.retries += 1
+                    global_fault_stats.record_retry("engine", fault)
+                    time.sleep(policy.delay(attempt, key=f"batch:{batch_no}"))
+                    continue
+                if fault == "broken_pool":
+                    warnings.warn(
+                        f"solve engine: worker pool broke ({exc}); restarting "
+                        "the pool and falling back to serial execution for "
+                        "this batch",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    with self._lock:
+                        self.serial_fallbacks += 1
+                    return None
+                raise
 
     def submit(self, cell: Cell, workers: int):
         """Submit one cell asynchronously; a future, or ``None`` = "go serial".
@@ -295,6 +332,7 @@ class SolveEngine:
                 "submits": self.submits,
                 "serial_fallbacks": self.serial_fallbacks,
                 "broken_pools": self.broken_pools,
+                "retries": self.retries,
                 "stopping": self._stopping.is_set(),
             }
         doc.update(self.backend.snapshot())

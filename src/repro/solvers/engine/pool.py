@@ -22,6 +22,7 @@ imports) once per call -- per benchmark *round*, per budget step.
 from __future__ import annotations
 
 import os
+import threading
 
 __all__ = ["PersistentPool"]
 
@@ -39,6 +40,13 @@ class PersistentPool:
     :class:`~concurrent.futures.ThreadPoolExecutor` for the in-process
     ``threads`` backend).  The grow-never-shrink lifecycle, fork guard and
     counters are identical for both.
+
+    Lifecycle methods are serialized by an internal lock, and broken-pool
+    healing should go through :meth:`invalidate` rather than :meth:`reset`:
+    ``invalidate(executor)`` only discards the executor that actually broke,
+    so when several threads observe the same ``BrokenProcessPool`` the first
+    one resets and the rest no-op instead of tearing down the freshly built
+    replacement (exactly one ``resets`` increment per broken executor).
     """
 
     def __init__(self, kind: str = "process") -> None:
@@ -49,6 +57,9 @@ class PersistentPool:
         self._workers = 0
         self._pid = os.getpid()
         self._unavailable = False
+        # reentrant: ensure() may be called with the lock held by reset()
+        # paths in subclassing tests, and reentrancy costs nothing here
+        self._lock = threading.RLock()
         self.creations = 0
         self.grows = 0
         self.resets = 0
@@ -78,64 +89,86 @@ class PersistentPool:
         (:meth:`~repro.solvers.engine.SolveEngine.run_batch`) clamps its
         requests to the batch size and the core count before calling.
         """
-        self._fork_guard()
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if self._unavailable:
-            return None
-        if self._executor is not None and self._workers >= workers:
-            return self._executor
-        if self._kind == "thread":
-            from concurrent.futures import ThreadPoolExecutor as _Executor
-        else:
-            from concurrent.futures import ProcessPoolExecutor as _Executor
+        with self._lock:
+            self._fork_guard()
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            if self._unavailable:
+                return None
+            if self._executor is not None and self._workers >= workers:
+                return self._executor
+            if self._kind == "thread":
+                from concurrent.futures import ThreadPoolExecutor as _Executor
+            else:
+                from concurrent.futures import ProcessPoolExecutor as _Executor
 
-        previous = self._executor
-        try:
-            # pool construction allocates the multiprocessing queues and
-            # semaphores: this is where sandboxed platforms fail with
-            # OSError/PermissionError (thread pools construct lazily and
-            # practically never fail here)
-            executor = _Executor(max_workers=workers)
-        except OSError:
-            self._unavailable = previous is None
-            return previous  # keep a smaller live pool rather than nothing
-        if previous is not None:
-            # let in-flight batches on the old executor drain: another
-            # thread may be mid-map on it, and cancelling its futures would
-            # crash that batch with a CancelledError it has no reason to
-            # expect.  The old workers exit once their queue is empty.
-            previous.shutdown(wait=False, cancel_futures=False)
-            self.grows += 1
-        else:
-            self.creations += 1
-        self._executor = executor
-        self._workers = workers
-        return executor
+            previous = self._executor
+            try:
+                # pool construction allocates the multiprocessing queues and
+                # semaphores: this is where sandboxed platforms fail with
+                # OSError/PermissionError (thread pools construct lazily and
+                # practically never fail here)
+                executor = _Executor(max_workers=workers)
+            except OSError:
+                self._unavailable = previous is None
+                return previous  # keep a smaller live pool rather than nothing
+            if previous is not None:
+                # let in-flight batches on the old executor drain: another
+                # thread may be mid-map on it, and cancelling its futures would
+                # crash that batch with a CancelledError it has no reason to
+                # expect.  The old workers exit once their queue is empty.
+                previous.shutdown(wait=False, cancel_futures=False)
+                self.grows += 1
+            else:
+                self.creations += 1
+            self._executor = executor
+            self._workers = workers
+            return executor
 
     def reset(self) -> None:
         """Discard a broken executor so the next call builds a fresh one."""
-        self._fork_guard()
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self.resets += 1
-        self._executor = None
-        self._workers = 0
+        with self._lock:
+            self._fork_guard()
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self.resets += 1
+            self._executor = None
+            self._workers = 0
+
+    def invalidate(self, executor) -> bool:
+        """Reset *iff* ``executor`` is still the live one; report whether.
+
+        The broken-pool healing entry point: every thread that caught a
+        ``BrokenProcessPool`` passes the executor it was using, and only the
+        first call actually resets -- later calls (same broken executor,
+        already replaced or discarded) return ``False`` without touching the
+        replacement.  ``None`` executors no-op.
+        """
+        if executor is None:
+            return False
+        with self._lock:
+            self._fork_guard()
+            if self._executor is not executor:
+                return False
+            self.reset()
+            return True
 
     def shutdown(self) -> None:
         """Terminate the workers (idempotent; the pool can be reused after)."""
-        self._fork_guard()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-        self._executor = None
-        self._workers = 0
-        self._unavailable = False
+        with self._lock:
+            self._fork_guard()
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._workers = 0
+            self._unavailable = False
 
     @property
     def executor(self):
         """The live executor (or ``None``); exposed for reuse assertions."""
-        self._fork_guard()
-        return self._executor
+        with self._lock:
+            self._fork_guard()
+            return self._executor
 
     @property
     def workers(self) -> int:
@@ -144,7 +177,11 @@ class PersistentPool:
 
     def snapshot(self) -> dict:
         """Lifecycle counters + current shape (for stats and ``/metrics``)."""
-        self._fork_guard()
+        with self._lock:
+            self._fork_guard()
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
         return {
             "kind": self._kind,
             "workers": self._workers,

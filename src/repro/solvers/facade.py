@@ -175,6 +175,16 @@ def _dispatch(
     *,
     strict: bool,
 ) -> SolveReport:
+    fault = options.get("_fault")
+    if fault is not None:
+        # chaos injection (repro.faults): the reserved _fault key carries a
+        # worker-side fault into this dispatch.  It must trip *before* the
+        # wall-time stamp so injected straggler sleeps never pollute the
+        # timing columns of a chaos campaign.
+        options = {k: v for k, v in options.items() if k != "_fault"}
+        from ..faults.plan import trip
+
+        trip(fault)
     spec = get_solver(algorithm)
     opts = _prepare_options(spec, memory, options, strict=strict)
     start = perf_counter()

@@ -359,6 +359,7 @@ class TestStragglerResplit:
             "backend": "serial",
             "work_units": 0,
             "straggler_resplits": 0,
+            "unit_retries": 0,
         }
 
         # exactly one record per cell, in the serial campaign's order,

@@ -700,3 +700,140 @@ class TestObservability:
             for handler in list(root.handlers):
                 if getattr(handler, "_repro_obs_handler", False):
                     root.removeHandler(handler)
+
+
+# ----------------------------------------------------------------------
+# resilience: circuit breaker, degradation ladder, abort-close hygiene
+# ----------------------------------------------------------------------
+class TestResilience:
+    def _chaos_service(self, *, threshold=2, cooldown=10.0, faults=2, **kw):
+        """A threads-engine service whose first ``faults`` cells hit an
+        injected BrokenProcessPool, driving a stepped-clock breaker."""
+        from repro.faults import CircuitBreaker, FaultPlan, FaultSpec
+
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, cooldown=cooldown,
+            clock=lambda: clock[0],
+        )
+        plan = FaultPlan(
+            [FaultSpec("broken_pool", i) for i in range(faults)]
+        )
+        svc = SolverService(workers=2, pool="threads", breaker=breaker,
+                            fault_plan=plan, **kw)
+        return svc, breaker, clock
+
+    def test_breaker_opens_rejects_and_recovers_end_to_end(self):
+        from repro.service import CircuitOpenError
+
+        async def body():
+            svc, breaker, clock = self._chaos_service()
+            async with svc:
+                # two consecutive engine infrastructure failures (the
+                # requests still answer, one rung down the ladder) ...
+                for i in range(2):
+                    response = await svc.handle({"tree": PARENTS, "id": f"r{i}"})
+                    assert response.ok
+                assert breaker.state == "open"
+                # ... open the circuit: admission now refuses with the
+                # typed 503, both as an exception and as a wire response
+                with pytest.raises(CircuitOpenError) as excinfo:
+                    svc.submit_nowait(
+                        parse_request({"tree": PARENTS}, svc.interner)
+                    )
+                assert excinfo.value.http_status == 503
+                rejected = await svc.handle({"tree": PARENTS, "id": "r2"})
+                assert rejected.status == "circuit_open"
+                # past the cooldown the half-open probe goes through,
+                # succeeds, and closes the circuit again
+                clock[0] = 10.0
+                probe = await svc.handle({"tree": PARENTS, "id": "r3"})
+                assert probe.ok
+                assert breaker.state == "closed"
+                text = svc.render_metrics()
+                snap = svc.snapshot()
+            assert 'repro_circuit_state 0' in text
+            for transition in ("closed->open", "open->half_open",
+                              "half_open->closed"):
+                assert (f'repro_circuit_transitions_total'
+                        f'{{transition="{transition}"}} 1') in text
+            assert "repro_circuit_rejections_total 2" in text  # both refusals
+            assert ('repro_retry_attempts_total'
+                    '{fault="broken_pool",layer="service"}') in text
+            assert 'repro_fault_injections_total{kind="broken_pool"}' in text
+            assert snap["breaker"]["transitions"] == {
+                "closed->open": 1, "open->half_open": 1,
+                "half_open->closed": 1,
+            }
+
+        run(body())
+
+    def test_responses_record_the_degradation_ladder(self):
+        async def body():
+            svc, _, _ = self._chaos_service(threshold=10, faults=1)
+            async with svc:
+                degraded = await svc.handle({"tree": PARENTS, "id": "a"})
+                healthy = await svc.handle({"tree": PARENTS, "id": "b"})
+            # the broken-pool request answered from the thread fallback;
+            # the next one from the engine tier again
+            assert degraded.extras["tier"] == "threads"
+            assert healthy.extras["tier"] == "threads"
+            assert "degraded" not in healthy.extras
+            # the wire form carries the extras block only when present
+            assert degraded.to_dict()["extras"]["tier"] == "threads"
+
+        run(body())
+
+    @pytest.mark.skipif(
+        __import__("repro.solvers.engine.pool", fromlist=["PersistentPool"])
+        .PersistentPool().ensure(2) is None,
+        reason="platform cannot spawn worker processes",
+    )
+    def test_degraded_flag_set_below_the_engine_tier(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        async def body():
+            plan = FaultPlan([FaultSpec("broken_pool", 0)])
+            svc = SolverService(workers=2, pool="persistent", fault_plan=plan)
+            async with svc:
+                degraded = await svc.handle({"tree": PARENTS, "id": "a"})
+                healthy = await svc.handle({"tree": PARENTS, "id": "b"})
+            assert degraded.extras == {"tier": "threads", "degraded": True}
+            assert healthy.extras == {"tier": "persistent"}
+
+        run(body())
+
+    def test_abort_close_settles_executing_requests_and_their_timers(self):
+        # the watchdog-leak regression: an abort-close used to cancel the
+        # executing tasks' coroutines without settling their futures or
+        # cancelling their deadline timers
+        async def body():
+            svc = await SolverService(pool="serial", max_inflight=4).start()
+            doc = {"tree": PARENTS, "algorithm": "svc_sleepy",
+                   "options": {"seconds": 5.0}, "deadline": 30.0}
+            futures = [
+                svc.submit_nowait(parse_request(dict(doc), svc.interner))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)  # all three are executing, timers armed
+            assert svc.live_timers == 3
+            await svc.close(drain=False)
+            assert all(f.done() for f in futures)
+            statuses = [f.result().status for f in futures]
+            assert statuses == ["closed", "closed", "closed"]
+            assert svc.live_timers == 0
+            assert svc.pending == 0
+            assert svc.stats.drained == 3
+
+        run(body())
+
+    def test_graceful_close_also_leaves_no_timers(self):
+        async def body():
+            async with SolverService(pool="serial") as svc:
+                doc = {"tree": PARENTS, "deadline": 30.0}
+                response = await svc.handle(doc)
+                assert response.ok
+                assert svc.live_timers == 0
+            assert svc.live_timers == 0
+
+        run(body())
